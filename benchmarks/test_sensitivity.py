@@ -1,0 +1,57 @@
+"""Parameter sensitivity: which tile knobs matter (Section 4.2).
+
+One-at-a-time sweep around a mid-range tile, evaluated on a mixed
+workload sample.  Reproduces the paper's qualitative ranking: cache
+capacity and instruction capacity dominate; interconnect-adjacent
+parameters (PSQs) matter but less; and no single parameter is free --
+"the design's inefficiencies scale as well".
+"""
+
+from repro.core import WaveScalarConfig
+from repro.core.experiments import run_cached
+from repro.design import render_sensitivity, sensitivity_sweep
+from repro.workloads import get
+
+from .conftest import bench_scale
+
+BASE = WaveScalarConfig(
+    clusters=1, virtualization=64, matching_entries=64, l1_kb=16, l2_mb=1
+)
+APPS = ("mcf", "ammp", "djpeg")
+THREADED = ("radix",)
+
+
+def evaluate(config: WaveScalarConfig) -> float:
+    from repro.sim.engine import SimulationDeadlock
+
+    scale = bench_scale()
+    total = 0.0
+    names = APPS + THREADED
+    for name in names:
+        kwargs = {"threads": 4} if get(name).multithreaded else {}
+        try:
+            total += run_cached(
+                config, name, scale, max_cycles=5_000_000, **kwargs
+            ).aipc
+        except SimulationDeadlock:
+            pass
+    return total / len(names)
+
+
+def test_sensitivity(record, benchmark):
+    # cache shared across benches: keys fully identify runs
+    axes = benchmark.pedantic(
+        lambda: sensitivity_sweep(BASE, evaluate), rounds=1, iterations=1
+    )
+    record("sensitivity_one_at_a_time", render_sensitivity(axes))
+
+    by_name = {axis.parameter: axis for axis in axes}
+    # Memory-system and capacity knobs are the big levers (paper:
+    # Table 5's performance jumps come from L2 and capacity).
+    assert by_name["l2_mb"].performance_swing > 1.1
+    # Every axis is finite and sane.
+    for axis in axes:
+        assert axis.performance_swing < 50
+        assert axis.area_swing >= 1.0
+    # PE count matters for parallel work.
+    assert by_name["pes_per_domain"].performance_swing >= 1.0

@@ -1,0 +1,66 @@
+"""Simulator engineering benchmarks.
+
+Unlike the experiment benches (which regenerate paper results once),
+these use pytest-benchmark's statistical timing to track the
+simulator's own speed: events per second on a fixed workload, and the
+cost of the two main front-end phases (build, place).  They exist so
+an engine regression shows up as a number, not as a mysteriously slow
+Pareto sweep.
+"""
+
+from repro.core import WaveScalarConfig
+from repro.place.snake import place
+from repro.sim.engine import Engine
+from repro.workloads import Scale, get
+
+CONFIG = WaveScalarConfig(
+    clusters=4, virtualization=64, matching_entries=64, l2_mb=1
+)
+
+
+def test_engine_throughput(benchmark):
+    """Cycle-level simulation speed on a threaded workload."""
+    workload = get("fft")
+    graph = workload.instantiate(Scale.SMALL, threads=32)
+    placement = place(graph, CONFIG)
+
+    def run():
+        return Engine(graph, CONFIG, placement).run().dispatches
+
+    dispatches = benchmark(run)
+    assert dispatches > 0
+
+
+def test_graph_build_speed(benchmark):
+    """Toolchain speed: building a threaded kernel graph."""
+    workload = get("radix")
+
+    def build():
+        return len(workload.instantiate(Scale.SMALL, threads=32))
+
+    size = benchmark(build)
+    assert size > 1000
+
+
+def test_placement_speed(benchmark):
+    workload = get("ocean")
+    graph = workload.instantiate(Scale.SMALL, threads=16)
+
+    def run():
+        return place(graph, CONFIG).used_pes()
+
+    used = benchmark(run)
+    assert used > 0
+
+
+def test_interpreter_speed(benchmark):
+    """Functional golden-model speed (used by every correctness check)."""
+    from repro.lang.interp import interpret
+
+    graph = get("twolf").instantiate(Scale.SMALL)
+
+    def run():
+        return interpret(graph).dynamic_instructions
+
+    dynamic = benchmark(run)
+    assert dynamic > 1000

@@ -1,0 +1,64 @@
+"""Table 1: the baseline microarchitectural parameters.
+
+Regenerates the parameter table and checks every constant against the
+paper; the benchmark times a full baseline construction + placement +
+short run, the "unit of work" every other experiment repeats.
+"""
+
+from repro.core import BASELINE, WaveScalarProcessor
+from repro.workloads import Scale, get
+
+
+def render_table1() -> str:
+    c = BASELINE
+    rows = [
+        ("WaveScalar capacity",
+         f"{c.total_instruction_capacity // 1024}K static instructions "
+         f"({c.virtualization} per PE)"),
+        ("PEs per domain", f"{c.pes_per_domain} ({c.pes_per_domain // 2} "
+                           "pods)"),
+        ("Domains / cluster", str(c.domains_per_cluster)),
+        ("PE input queue", f"{c.matching_entries} entries, "
+                           f"{c.matching_banks} banks"),
+        ("PE output queue", f"{c.output_queue_entries} entries"),
+        ("PE pipeline depth", "5 stages"),
+        ("Network latency",
+         f"pod {c.pod_latency} / domain {c.domain_latency} / cluster "
+         f"{c.cluster_latency} / inter-cluster {c.intercluster_base}+dist"),
+        ("L1 cache", f"{c.l1_kb}KB, {c.l1_associativity}-way, "
+                     f"{c.line_bytes}B line, {c.l1_ports} ports"),
+        ("Network switch", f"{c.mesh_bandwidth}-port bidirectional, "
+                           f"{c.mesh_queue_entries}-entry queues, 2 VCs"),
+        ("Main RAM", f"{c.dram_latency} cycle latency"),
+        ("Store buffer", f"{c.storebuffer_waves} waves, "
+                         f"{c.partial_store_queues} partial store queues"),
+    ]
+    width = max(len(k) for k, _ in rows)
+    return "\n".join(f"{k:<{width}}  {v}" for k, v in rows)
+
+
+def test_table1_parameters(record, benchmark):
+    text = benchmark(render_table1)
+    record("table1_baseline_parameters", text)
+    c = BASELINE
+    assert c.total_instruction_capacity == 4096
+    assert (c.pod_latency, c.domain_latency, c.cluster_latency,
+            c.intercluster_base) == (1, 5, 9, 9)
+    assert (c.l1_kb, c.l1_associativity, c.line_bytes, c.l1_ports) == \
+        (32, 4, 128, 4)
+    assert c.dram_latency == 200
+    assert (c.storebuffer_waves, c.partial_store_queues) == (4, 2)
+    assert (c.matching_entries, c.matching_banks,
+            c.matching_associativity) == (128, 4, 2)
+
+
+def test_baseline_run(benchmark):
+    """Time one baseline workload execution (the atomic unit of every
+    sweep in this harness)."""
+
+    def unit():
+        proc = WaveScalarProcessor(BASELINE)
+        return proc.run_workload(get("mcf"), scale=Scale.TINY).cycles
+
+    cycles = benchmark(unit)
+    assert cycles > 0

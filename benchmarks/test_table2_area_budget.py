@@ -1,0 +1,65 @@
+"""Table 2: the cluster area budget.
+
+Regenerates the full budget table from the measured per-component
+areas and validates the paper's headline shares (PEs ~71% of the
+cluster, MATCH ~61% of the PE, ~80% SRAM).
+"""
+
+import pytest
+
+from repro.area import (
+    breakdown,
+    cluster_total_mm2,
+    format_budget_table,
+    pe_total_mm2,
+    sram_fraction,
+)
+from repro.area.budget import PE_COMPONENTS_MM2
+from repro.core.config import BASELINE
+
+
+def test_table2_budget(record, benchmark):
+    text = benchmark(format_budget_table)
+    footer = (
+        f"\npaper cross-checks: PE total {pe_total_mm2():.2f} mm2 "
+        f"(paper 0.94), cluster total {cluster_total_mm2():.2f} mm2 "
+        f"(paper 42.50), SRAM fraction {sram_fraction():.0%} (paper ~80%)"
+    )
+    record("table2_cluster_area_budget", text + footer)
+
+    assert cluster_total_mm2() == pytest.approx(42.5, abs=0.8)
+    assert PE_COMPONENTS_MM2["MATCH"] / pe_total_mm2() == pytest.approx(
+        0.61, abs=0.03
+    )
+    assert 32 * pe_total_mm2() / cluster_total_mm2() == pytest.approx(
+        0.71, abs=0.02
+    )
+    assert sram_fraction() == pytest.approx(0.80, abs=0.03)
+
+
+def test_table2_model_breakdown(record, benchmark):
+    bd = benchmark(breakdown, BASELINE)
+    lines = [
+        f"{'component':<22}{'mm2':>8}{'share':>8}",
+    ]
+    for name, value in [
+        ("PE matching tables", bd.pe_matching),
+        ("PE instruction stores", bd.pe_istore),
+        ("PE other logic", bd.pe_other),
+        ("pseudo PEs", bd.pseudo_pes),
+        ("FPUs", bd.fpus),
+        ("store buffers", bd.store_buffers),
+        ("L1 caches", bd.l1),
+        ("network switches", bd.network_switches),
+        ("wiring overhead", bd.wiring_overhead),
+        ("L2", bd.l2),
+    ]:
+        lines.append(f"{name:<22}{value:>8.2f}{value / bd.total:>8.1%}")
+    lines.append(f"{'total':<22}{bd.total:>8.2f}{1.0:>8.1%}")
+    record("table2_model_breakdown", "\n".join(lines))
+    assert bd.total == pytest.approx(46.5, abs=0.5)
+
+
+def test_budget_benchmark(benchmark):
+    total = benchmark(cluster_total_mm2)
+    assert total > 0

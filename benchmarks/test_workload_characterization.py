@@ -1,0 +1,58 @@
+"""Workload characterisation table (Section 2.2, made quantitative).
+
+Regenerates the measured shape of every kernel and checks the
+properties the DESIGN.md substitution argument claims: the Splash2
+stand-ins are multithreaded and scale their waves with threads; the
+Spec stand-ins split into control-heavy integer and FP groups; the
+media kernels are block-structured integer code.
+"""
+
+from repro.workloads import (
+    MEDIA_NAMES,
+    SPEC_NAMES,
+    SPLASH_NAMES,
+    WORKLOADS,
+    characterization_table,
+    get,
+    profile_workload,
+)
+
+from .conftest import bench_scale
+
+
+def run_profiles():
+    return {
+        name: profile_workload(
+            get(name), bench_scale(),
+            threads=4 if get(name).multithreaded else None,
+        )
+        for name in sorted(WORKLOADS)
+    }
+
+
+def test_characterization(record, benchmark):
+    profiles = benchmark.pedantic(run_profiles, rounds=1, iterations=1)
+    record(
+        "workload_characterization",
+        characterization_table(list(profiles.values())),
+    )
+
+    # FP suites actually use the FPU.
+    for name in ("ammp", "art", "equake", "fft", "lu", "ocean",
+                 "raytrace", "water"):
+        assert profiles[name].fp_fraction > 0.15, name
+    for name in ("gzip", "mcf", "twolf", "djpeg", "mpeg2encode",
+                 "rawdaudio", "radix"):
+        assert profiles[name].fp_fraction == 0.0, name
+    # Every kernel touches memory (wave-ordered interface exercised).
+    for name, profile in profiles.items():
+        assert profile.memory_operations > 0, name
+    # Dataflow overhead is substantial everywhere -- the reason the
+    # paper reports AIPC.
+    for name, profile in profiles.items():
+        assert 0.3 < profile.overhead_fraction < 0.9, name
+    # Splash kernels produce many waves (loop iterations across
+    # threads); media kernels are comparatively shallow.
+    assert profiles["radix"].waves > profiles["djpeg"].waves
+    # Suite partition sanity.
+    assert len(SPEC_NAMES) + len(MEDIA_NAMES) + len(SPLASH_NAMES) == 15

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""The paper's headline result in miniature: multithreaded WaveScalar
+performance scales with silicon area, and the hierarchical
+interconnect keeps traffic local while it does.
+
+Runs two Splash2-stand-in kernels across 1-, 4- and 16-cluster
+processors, reporting AIPC, AIPC per mm^2, and the Figure 8 traffic
+distribution at each size.
+
+Run:  python examples/multithreaded_scaling.py             (about a minute)
+      REPRO_SCALE=medium python examples/multithreaded_scaling.py
+      (larger problems keep scaling further up the cluster counts)
+"""
+
+import os
+
+from repro.area import chip_area
+from repro.core import WaveScalarConfig, WaveScalarProcessor
+from repro.workloads import Scale, get
+
+SCALE = Scale[os.environ.get("REPRO_SCALE", "small").upper()]
+
+SIZES = [
+    WaveScalarConfig(clusters=1, l2_mb=1),
+    WaveScalarConfig(clusters=4, virtualization=64, matching_entries=64,
+                     l2_mb=1),
+    WaveScalarConfig(clusters=16, virtualization=64, matching_entries=64,
+                     l1_kb=8, l2_mb=1),
+]
+
+WORKLOADS = ["fft", "water"]
+# Bigger processors pay off through *more threads*: a 4K-instruction
+# single cluster cannot hold 64 threads' code, an 8K+ one can.
+THREADS = [8, 32, 64]
+
+
+def main():
+    print(f"{'config':<44}{'area':>7} {'thr':>4} {'AIPC':>6} "
+          f"{'AIPC/mm2':>9}  traffic pod/dom/clu/grid")
+    for config in SIZES:
+        processor = WaveScalarProcessor(config)
+        area = chip_area(config)
+        for name in WORKLOADS:
+            workload = get(name)
+            best = None
+            for threads in THREADS:
+                try:
+                    result = processor.run_workload(
+                        workload, scale=SCALE, threads=threads
+                    )
+                except ValueError:
+                    continue
+                if best is None or result.aipc > best.aipc:
+                    best = result
+            assert best is not None
+            fr = best.stats.traffic_fractions()
+            print(
+                f"{config.describe():<44}{area:>7.0f} "
+                f"{best.threads:>4} {best.aipc:>6.2f} "
+                f"{best.aipc / area * 1000:>9.2f}  "
+                f"{fr['pod']:.0%}/{fr['domain']:.0%}/"
+                f"{fr['cluster']:.0%}/{fr['grid']:.0%}"
+                f"   [{name}]"
+            )
+    print(
+        "\nBigger processors win by running more threads (the 4K-capacity "
+        "single cluster tops out at 32), and inter-cluster traffic stays "
+        "in single digits while they do -- the locality that makes "
+        "scaling possible (Sections 4.2-4.3).  Scaling saturates once "
+        "per-thread work runs out; rerun with REPRO_SCALE=medium to see "
+        "the larger configurations pull further ahead."
+    )
+
+
+if __name__ == "__main__":
+    main()

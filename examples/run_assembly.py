@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Assemble and execute the .wsasm programs in examples/asm/.
+
+Demonstrates the textual side of the toolchain: hand-written
+WaveScalar assembly with explicit wave-ordering annotations, verified,
+interpreted, and then run on the cycle-level simulator.
+
+Run:  python examples/run_assembly.py
+"""
+
+from pathlib import Path
+
+from repro.core import BASELINE, WaveScalarProcessor
+from repro.lang import assemble
+from repro.lang.interp import interpret
+
+ASM_DIR = Path(__file__).parent / "asm"
+EXPECTED = {
+    "abs_diff": [7],
+    "memory_sum": [42],
+}
+
+
+def main():
+    processor = WaveScalarProcessor(BASELINE)
+    for path in sorted(ASM_DIR.glob("*.wsasm")):
+        graph = assemble(path.read_text())
+        reference = interpret(graph)
+        result = processor.run(graph)
+        expected = EXPECTED[graph.name]
+        assert reference.output_values() == expected, graph.name
+        assert result.outputs() == expected, graph.name
+        print(
+            f"{path.name:<22} -> {result.outputs()} in "
+            f"{result.cycles} cycles (AIPC {result.aipc:.2f})"
+        )
+    print("\nall assembly programs verified on interpreter + simulator")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setup shim: configuration lives in pyproject.toml.
+
+Kept so `python setup.py develop` works on machines without the
+`wheel` package (PEP-517 editable installs need it).
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,22 @@
+"""repro: a reproduction of "Area-Performance Trade-offs in Tiled
+Dataflow Architectures" (ISCA 2006).
+
+A complete WaveScalar stack in Python: ISA and toolchain
+(:mod:`repro.isa`, :mod:`repro.lang`), instruction placement
+(:mod:`repro.place`), a cycle-level simulator (:mod:`repro.sim`), the
+paper's area/timing models (:mod:`repro.area`), the design-space and
+Pareto machinery (:mod:`repro.design`), fifteen workloads
+(:mod:`repro.workloads`), and a high-level API (:mod:`repro.core`).
+"""
+
+from .core import BASELINE, SimulationResult, WaveScalarConfig, WaveScalarProcessor
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BASELINE",
+    "SimulationResult",
+    "WaveScalarConfig",
+    "WaveScalarProcessor",
+    "__version__",
+]

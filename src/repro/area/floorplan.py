@@ -1,0 +1,136 @@
+"""Chip floorplan geometry.
+
+Section 3.3.2: "Each cluster contains an L1 cache, and the banks of an
+L2 cache and a coherence directory surround the array of clusters",
+with L2 hit latency "20-30 cycles, depending upon address and distance
+to a requesting cluster".  This module makes that geometry explicit:
+
+* clusters tile a near-square grid, each a square of its modelled area,
+* L2 banks (with their directory slices) are placed evenly around the
+  perimeter of the cluster array,
+* distances are Euclidean millimetres between cluster centres and bank
+  positions, converted to cycles at a repeated-wire signal velocity.
+
+The memory hierarchy uses :meth:`Floorplan.l2_latency` for bank access
+timing, which lands in the paper's 20-30 cycle band for in-budget
+chips by construction of the velocity constant.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.config import WaveScalarConfig
+from .model import cluster_area
+
+#: Signal velocity over repeated upper-metal wire at 90 nm / 20 FO4,
+#: in millimetres per cycle.  ~1 mm/cycle is the classic wire-delay
+#: figure for this generation; it puts a 400 mm^2 chip's far corner
+#: ~10 cycles from a bank, matching the paper's 20-30 cycle L2 band.
+MM_PER_CYCLE = 1.0
+
+
+@dataclass(frozen=True)
+class Point:
+    x: float
+    y: float
+
+    def distance(self, other: "Point") -> float:
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+
+class Floorplan:
+    """Physical layout of one configuration."""
+
+    def __init__(self, config: WaveScalarConfig) -> None:
+        self.config = config
+        self.cluster_side = math.sqrt(cluster_area(config))
+        cols, rows = config.grid_shape
+        self.cols = cols
+        self.rows = rows
+        self.core_width = cols * self.cluster_side
+        self.core_height = rows * self.cluster_side
+        # One L2 bank per cluster-facing perimeter slot, at least 4
+        # (matching the hierarchy's bank count).
+        self.n_banks = max(4, config.clusters)
+
+    # ------------------------------------------------------------------
+    def cluster_center(self, cluster: int) -> Point:
+        x, y = self.config.cluster_xy(cluster)
+        side = self.cluster_side
+        return Point((x + 0.5) * side, (y + 0.5) * side)
+
+    def bank_position(self, bank: int) -> Point:
+        """Banks spaced evenly along the core perimeter, clockwise from
+        the west edge."""
+        perimeter = 2 * (self.core_width + self.core_height)
+        offset = (bank + 0.5) * perimeter / self.n_banks
+        w, h = self.core_width, self.core_height
+        if offset < h:  # west edge, going north
+            return Point(0.0, offset)
+        offset -= h
+        if offset < w:  # north edge, going east
+            return Point(offset, h)
+        offset -= w
+        if offset < h:  # east edge, going south
+            return Point(w, h - offset)
+        offset -= h
+        return Point(w - offset, 0.0)  # south edge, going west
+
+    # ------------------------------------------------------------------
+    def bank_distance_mm(self, cluster: int, bank: int) -> float:
+        return self.cluster_center(cluster).distance(
+            self.bank_position(bank)
+        )
+
+    def l2_latency(self, cluster: int, bank: int) -> int:
+        """Cycles for an L2 access from ``cluster`` to ``bank``:
+        the base pipeline latency plus round-trip wire distance,
+        clamped to the paper's 20-30 band."""
+        cfg = self.config
+        wire = 2.0 * self.bank_distance_mm(cluster, bank) / MM_PER_CYCLE
+        return int(
+            min(cfg.l2_max_latency, max(cfg.l2_base_latency,
+                                        cfg.l2_base_latency + wire -
+                                        self.cluster_side))
+        )
+
+    def worst_case_l2_latency(self) -> int:
+        return max(
+            self.l2_latency(c, b)
+            for c in range(self.config.clusters)
+            for b in range(self.n_banks)
+        )
+
+    # ------------------------------------------------------------------
+    def render(self, scale: float = 0.55) -> str:
+        """ASCII floorplan: cluster boxes with the L2 ring around them."""
+        cell_w = max(6, int(self.cluster_side * scale * 2))
+        cell_h = max(3, int(self.cluster_side * scale))
+        width = self.cols * cell_w + 2
+        lines = []
+        lines.append("L2/directory ring".center(width, "="))
+        for row in range(self.rows - 1, -1, -1):
+            top = "+".join("-" * (cell_w - 1) for _ in range(self.cols))
+            lines.append("|" + top + "|")
+            for inner in range(cell_h - 1):
+                cells = []
+                for col in range(self.cols):
+                    cluster = row * self.cols + col
+                    if cluster < self.config.clusters and inner == \
+                            (cell_h - 1) // 2:
+                        label = f"C{cluster}".center(cell_w - 1)
+                    else:
+                        label = " " * (cell_w - 1)
+                    cells.append(label)
+                lines.append("|" + "|".join(cells) + "|")
+        bottom = "+".join("-" * (cell_w - 1) for _ in range(self.cols))
+        lines.append("|" + bottom + "|")
+        lines.append("=" * width)
+        lines.append(
+            f"core {self.core_width:.1f} x {self.core_height:.1f} mm, "
+            f"{self.n_banks} L2 banks on the perimeter, worst-case L2 "
+            f"latency {self.worst_case_l2_latency()} cycles"
+        )
+        return "\n".join(lines)

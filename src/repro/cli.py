@@ -1,0 +1,332 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro list
+    python -m repro run --workload fft --clusters 4 --threads 16
+    python -m repro area --clusters 4 --l2-mb 2
+    python -m repro designs
+    python -m repro sweep --suite splash --sample 6
+    python -m repro trace --workload mcf --events 40
+
+Every command is a thin veneer over the library; anything the CLI
+prints can be recomputed through :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .area import breakdown, timing_report
+from .core import WaveScalarConfig, WaveScalarProcessor
+from .core.experiments import evaluate_design_space
+from .design import pareto_front, viable_designs
+from .report import scatter
+from .workloads import (
+    MEDIA_NAMES,
+    SPEC_NAMES,
+    SPLASH_NAMES,
+    WORKLOADS,
+    Scale,
+    get,
+)
+
+SUITES = {
+    "spec": SPEC_NAMES,
+    "media": MEDIA_NAMES,
+    "splash": SPLASH_NAMES,
+    "all": tuple(sorted(WORKLOADS)),
+}
+
+
+def _add_config_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--clusters", type=int, default=1)
+    parser.add_argument("--domains", type=int, default=4,
+                        help="domains per cluster")
+    parser.add_argument("--pes", type=int, default=8, help="PEs per domain")
+    parser.add_argument("--virtualization", "-V", type=int, default=128,
+                        help="instruction-store slots per PE")
+    parser.add_argument("--matching", "-M", type=int, default=128,
+                        help="matching-table entries per PE")
+    parser.add_argument("--l1-kb", type=int, default=32)
+    parser.add_argument("--l2-mb", type=int, default=0)
+
+
+def _config_from(args: argparse.Namespace) -> WaveScalarConfig:
+    return WaveScalarConfig(
+        clusters=args.clusters,
+        domains_per_cluster=args.domains,
+        pes_per_domain=args.pes,
+        virtualization=args.virtualization,
+        matching_entries=args.matching,
+        l1_kb=args.l1_kb,
+        l2_mb=args.l2_mb,
+    )
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    print(f"{'workload':<14}{'suite':<12}{'threads':<9}description")
+    for name in sorted(WORKLOADS):
+        w = WORKLOADS[name]
+        print(
+            f"{name:<14}{w.suite.value:<12}"
+            f"{'multi' if w.multithreaded else 'single':<9}"
+            f"{w.description}"
+        )
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    config = _config_from(args)
+    workload = get(args.workload)
+    threads = args.threads if workload.multithreaded else None
+    proc = WaveScalarProcessor(config)
+    print(proc.describe())
+    result = proc.run_workload(
+        workload, scale=Scale[args.scale.upper()], threads=threads,
+        k=args.k, seed=args.seed,
+    )
+    print(result.summary())
+    fr = result.stats.traffic_fractions()
+    print(
+        f"traffic: pod {fr['pod']:.0%} / domain {fr['domain']:.0%} / "
+        f"cluster {fr['cluster']:.0%} / grid {fr['grid']:.1%}"
+    )
+    print(f"outputs: {result.outputs()}")
+    return 0
+
+
+def cmd_area(args: argparse.Namespace) -> int:
+    from .area import Floorplan
+
+    config = _config_from(args)
+    bd = breakdown(config)
+    report = timing_report(config)
+    print(f"{config.describe()}")
+    print(f"clock: {report.cycle_fo4:.0f} FO4 = {report.cycle_ps:.0f} ps "
+          f"({report.frequency_ghz:.2f} GHz); critical path: "
+          f"{report.critical_path}")
+    rows = [
+        ("PE matching tables", bd.pe_matching),
+        ("PE instruction stores", bd.pe_istore),
+        ("PE other logic", bd.pe_other),
+        ("pseudo PEs", bd.pseudo_pes),
+        ("FPUs", bd.fpus),
+        ("store buffers", bd.store_buffers),
+        ("L1 caches", bd.l1),
+        ("network switches", bd.network_switches),
+        ("wiring overhead", bd.wiring_overhead),
+        ("L2", bd.l2),
+    ]
+    for name, value in rows:
+        print(f"  {name:<24}{value:>9.2f} mm2 {value / bd.total:>7.1%}")
+    print(f"  {'total':<24}{bd.total:>9.2f} mm2")
+    if args.floorplan:
+        print()
+        print(Floorplan(config).render())
+    return 0
+
+
+def cmd_designs(args: argparse.Namespace) -> int:
+    designs = viable_designs(ratio=args.ratio)
+    print(f"{len(designs)} viable designs (virtualization ratio "
+          f"{args.ratio}):")
+    for d in designs:
+        print(f"  {d.area_mm2:>6.0f} mm2  {d.config.describe()}")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    names = SUITES[args.suite]
+    designs = viable_designs()[:: args.sample]
+    threaded = args.suite == "splash"
+    print(
+        f"evaluating {len(designs)} designs on suite {args.suite!r} "
+        f"({'best thread count' if threaded else 'single-threaded'}) ..."
+    )
+    points = evaluate_design_space(
+        designs, names, Scale[args.scale.upper()], threaded=threaded
+    )
+    if args.save:
+        from .design import dump_points
+
+        dump_points(points, args.save,
+                    metadata={"suite": args.suite, "scale": args.scale})
+        print(f"sweep saved to {args.save}")
+    print(scatter(points, title=f"{args.suite} @ {args.scale}"))
+    print("\nPareto frontier:")
+    for p in pareto_front(points):
+        print(f"  {p.area:>6.0f} mm2  AIPC {p.performance:5.2f}  {p.label}")
+    return 0
+
+
+def cmd_characterize(args: argparse.Namespace) -> int:
+    from .workloads.characterize import (
+        characterization_table,
+        profile_workload,
+    )
+
+    names = SUITES[args.suite]
+    scale = Scale[args.scale.upper()]
+    profiles = []
+    for name in names:
+        w = get(name)
+        threads = args.threads if w.multithreaded else None
+        profiles.append(profile_workload(w, scale, threads=threads))
+    print(characterization_table(profiles))
+    return 0
+
+
+def cmd_tune(args: argparse.Namespace) -> int:
+    from .core.experiments import tune_workload
+
+    w = get(args.workload)
+    threads = args.threads if w.multithreaded else None
+    result = tune_workload(
+        args.workload, Scale[args.scale.upper()], threads=threads
+    )
+    print(
+        f"{result.application}: k_opt={result.k_opt} "
+        f"u_opt={result.u_opt} virtualization ratio "
+        f"{result.virtualization_ratio:.3f}"
+    )
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from .report import generate_report
+
+    text = generate_report(
+        scale=Scale[args.scale.upper()], sample=args.sample
+    )
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(text)
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from .place.snake import place
+    from .sim.engine import Engine
+    from .sim.trace import Trace
+
+    config = _config_from(args)
+    workload = get(args.workload)
+    threads = args.threads if workload.multithreaded else None
+    graph = workload.instantiate(
+        scale=Scale[args.scale.upper()], threads=threads, seed=args.seed
+    )
+    engine = Engine(graph, config, place(graph, config))
+    engine.trace = Trace()
+    engine.run()
+    events = engine.trace.events[: args.events]
+    for e in events:
+        print(e.render())
+    print(f"... showing {len(events)} of {len(engine.trace.events)} events")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="WaveScalar area/performance study (ISCA'06 "
+                    "reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available workloads")
+
+    p_run = sub.add_parser("run", help="run one workload")
+    _add_config_args(p_run)
+    p_run.add_argument("--workload", "-w", required=True,
+                       choices=sorted(WORKLOADS))
+    p_run.add_argument("--threads", "-t", type=int, default=4)
+    p_run.add_argument("--scale", default="small",
+                       choices=[s.value for s in Scale])
+    p_run.add_argument("--k", type=int, default=None,
+                       help="k-loop bound override")
+    p_run.add_argument("--seed", type=int, default=0)
+
+    p_area = sub.add_parser("area", help="area/timing breakdown")
+    _add_config_args(p_area)
+    p_area.add_argument("--floorplan", action="store_true",
+                        help="render the ASCII floorplan")
+
+    p_designs = sub.add_parser("designs", help="list viable designs")
+    p_designs.add_argument("--ratio", type=float, default=1.0)
+
+    p_sweep = sub.add_parser("sweep", help="mini Pareto sweep")
+    p_sweep.add_argument("--suite", default="spec", choices=sorted(SUITES))
+    p_sweep.add_argument("--sample", type=int, default=6,
+                         help="evaluate every Nth design")
+    p_sweep.add_argument("--scale", default="tiny",
+                         choices=[s.value for s in Scale])
+    p_sweep.add_argument("--save", default=None,
+                         help="write the evaluated points to a JSON file")
+
+    p_char = sub.add_parser("characterize",
+                            help="workload shape table (Section 2.2)")
+    p_char.add_argument("--suite", default="all", choices=sorted(SUITES))
+    p_char.add_argument("--threads", "-t", type=int, default=4)
+    p_char.add_argument("--scale", default="tiny",
+                        choices=[s.value for s in Scale])
+
+    p_tune = sub.add_parser("tune",
+                            help="Table 4 matching-table tuning row")
+    p_tune.add_argument("--workload", "-w", required=True,
+                        choices=sorted(WORKLOADS))
+    p_tune.add_argument("--threads", "-t", type=int, default=4)
+    p_tune.add_argument("--scale", default="tiny",
+                        choices=[s.value for s in Scale])
+
+    p_report = sub.add_parser(
+        "report", help="generate a markdown reproduction report"
+    )
+    p_report.add_argument("--scale", default="tiny",
+                          choices=[s.value for s in Scale])
+    p_report.add_argument("--sample", type=int, default=8,
+                          help="evaluate every Nth design")
+    p_report.add_argument("--output", "-o", default=None)
+
+    p_trace = sub.add_parser("trace", help="pipeline event trace")
+    _add_config_args(p_trace)
+    p_trace.add_argument("--workload", "-w", required=True,
+                         choices=sorted(WORKLOADS))
+    p_trace.add_argument("--threads", "-t", type=int, default=2)
+    p_trace.add_argument("--scale", default="tiny",
+                         choices=[s.value for s in Scale])
+    p_trace.add_argument("--events", type=int, default=60)
+    p_trace.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+COMMANDS = {
+    "list": cmd_list,
+    "run": cmd_run,
+    "area": cmd_area,
+    "designs": cmd_designs,
+    "sweep": cmd_sweep,
+    "trace": cmd_trace,
+    "report": cmd_report,
+    "characterize": cmd_characterize,
+    "tune": cmd_tune,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return COMMANDS[args.command](args)
+    except BrokenPipeError:  # piping into head etc. is fine
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

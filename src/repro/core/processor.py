@@ -1,0 +1,126 @@
+"""The top-level WaveScalar processor object.
+
+This is the API most users touch::
+
+    from repro.core import WaveScalarConfig, WaveScalarProcessor
+    from repro.workloads import get, Scale
+
+    proc = WaveScalarProcessor(WaveScalarConfig(clusters=4, l2_mb=1))
+    result = proc.run_workload(get("fft"), scale=Scale.SMALL, threads=8)
+    print(result.aipc, result.area_mm2)
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..area.model import breakdown
+from ..area.timing import timing_report
+from ..isa.graph import DataflowGraph
+from ..lang.kbound import set_k_bound
+from ..place.placement import Placement
+from ..place.snake import place
+from ..sim.engine import Engine
+from ..workloads.base import Scale, Workload
+from .config import WaveScalarConfig
+from .results import SimulationResult
+
+
+class WaveScalarProcessor:
+    """A configured WaveScalar processor that can execute programs."""
+
+    def __init__(
+        self,
+        config: WaveScalarConfig,
+        max_cycles: int = 20_000_000,
+        max_events: int = 200_000_000,
+    ) -> None:
+        self.config = config
+        self.max_cycles = max_cycles
+        self.max_events = max_events
+        self._area = breakdown(config)
+        self._timing = timing_report(config)
+
+    # ------------------------------------------------------------------
+    @property
+    def area_mm2(self) -> float:
+        return self._area.total
+
+    @property
+    def frequency_ghz(self) -> float:
+        return self._timing.frequency_ghz
+
+    def describe(self) -> str:
+        return (
+            f"{self.config.describe()} -- {self.area_mm2:.0f} mm2 @ "
+            f"{self.frequency_ghz:.2f} GHz ({self._timing.cycle_fo4:.0f} FO4)"
+        )
+
+    # ------------------------------------------------------------------
+    def place(self, graph: DataflowGraph) -> Placement:
+        """Bind a program's instructions to this processor's PEs."""
+        return place(graph, self.config)
+
+    def run(
+        self,
+        graph: DataflowGraph,
+        placement: Optional[Placement] = None,
+        k: Optional[int] = None,
+        strict: bool = True,
+        threads: Optional[int] = None,
+    ) -> SimulationResult:
+        """Execute ``graph`` and return the full result bundle.
+
+        ``k`` rebinds every loop's k-loop bound before execution
+        (Table 4 tuning); ``strict`` raises on deadlock rather than
+        returning a partial result.
+        """
+        if k is not None:
+            graph = set_k_bound(graph, k)
+        if placement is None:
+            placement = self.place(graph)
+        engine = Engine(
+            graph, self.config, placement, max_cycles=self.max_cycles,
+            max_events=self.max_events,
+        )
+        stats = engine.run(strict=strict)
+        return SimulationResult(
+            program=graph.name,
+            config=self.config,
+            stats=stats,
+            area=self._area,
+            timing=self._timing,
+            threads=threads,
+        )
+
+    def run_workload(
+        self,
+        workload: Workload,
+        scale: Scale = Scale.SMALL,
+        threads: Optional[int] = None,
+        k: Optional[int] = None,
+        seed: int = 0,
+        check: bool = True,
+    ) -> SimulationResult:
+        """Instantiate and execute one registry workload.
+
+        With ``check`` (default) the architectural outputs are compared
+        against the workload's pure-Python reference; a mismatch raises
+        ``AssertionError`` -- a simulator correctness bug, never a
+        performance matter.
+        """
+        graph = workload.instantiate(
+            scale=scale, threads=threads, k=k, seed=seed
+        )
+        result = self.run(graph, threads=threads)
+        if check:
+            expected = workload.expected(
+                scale=scale, threads=threads, seed=seed
+            )
+            got = result.outputs()
+            if got != expected:
+                raise AssertionError(
+                    f"{workload.name}: simulator output {got!r} != "
+                    f"reference {expected!r}"
+                )
+        return result

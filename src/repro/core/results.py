@@ -1,0 +1,92 @@
+"""Simulation results as returned by the public API."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..area.model import AreaBreakdown
+from ..area.timing import TimingReport
+from ..sim.stats import SimStats
+from .config import WaveScalarConfig
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """One program executed on one configuration.
+
+    Bundles the raw microarchitectural statistics with the area and
+    timing models so a caller has everything the paper's evaluation
+    plots in one object.
+    """
+
+    program: str
+    config: WaveScalarConfig
+    stats: SimStats
+    area: AreaBreakdown
+    timing: TimingReport
+    threads: Optional[int] = None
+
+    # -- headline metrics ----------------------------------------------
+    @property
+    def cycles(self) -> int:
+        return self.stats.cycles
+
+    @property
+    def aipc(self) -> float:
+        """Alpha-equivalent instructions per cycle (paper's metric)."""
+        return self.stats.aipc
+
+    @property
+    def ipc(self) -> float:
+        return self.stats.ipc
+
+    @property
+    def area_mm2(self) -> float:
+        return self.area.total
+
+    @property
+    def aipc_per_mm2(self) -> float:
+        return self.aipc / self.area_mm2 if self.area_mm2 else 0.0
+
+    @property
+    def runtime_seconds(self) -> float:
+        """Wall-clock time at the configuration's 20 FO4 clock."""
+        return self.cycles * self.timing.cycle_ps * 1e-12
+
+    def outputs(self) -> list:
+        return self.stats.output_values()
+
+    def summary(self) -> str:
+        return (
+            f"{self.program} on {self.config.describe()}"
+            f"{f' x{self.threads}thr' if self.threads else ''}: "
+            f"{self.stats.summary()} area={self.area_mm2:.0f}mm2"
+        )
+
+
+@dataclass
+class SweepResult:
+    """A (workload x configuration) result matrix from a sweep."""
+
+    results: list[SimulationResult] = field(default_factory=list)
+
+    def add(self, result: SimulationResult) -> None:
+        self.results.append(result)
+
+    def for_program(self, program: str) -> list[SimulationResult]:
+        return [r for r in self.results if r.program == program]
+
+    def for_config(self, config: WaveScalarConfig) -> list[SimulationResult]:
+        return [r for r in self.results if r.config == config]
+
+    def mean_aipc_by_config(self) -> dict[WaveScalarConfig, float]:
+        """Average AIPC per configuration over all programs (the
+        paper's per-suite 'Avg. AIPC')."""
+        groups: dict[WaveScalarConfig, list[float]] = {}
+        for r in self.results:
+            groups.setdefault(r.config, []).append(r.aipc)
+        return {c: sum(v) / len(v) for c, v in groups.items()}
+
+    def __len__(self) -> int:
+        return len(self.results)

@@ -1,0 +1,118 @@
+"""Pareto-frontier extraction over (area, performance) points.
+
+Used for Figures 6 and 7 and Table 5: a configuration is Pareto
+optimal when no other configuration is both smaller *and* at least as
+fast (the paper circles these points; "there are no configurations
+that are smaller and achieve better performance").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One evaluated design."""
+
+    label: str
+    area: float
+    performance: float
+    payload: object = None
+
+
+def is_dominated(point: ParetoPoint, others: Iterable[ParetoPoint]) -> bool:
+    """True if some other point is no larger and no slower, and
+    strictly better in at least one dimension."""
+    for other in others:
+        if other is point:
+            continue
+        if (
+            other.area <= point.area
+            and other.performance >= point.performance
+            and (
+                other.area < point.area
+                or other.performance > point.performance
+            )
+        ):
+            return True
+    return False
+
+
+def pareto_front(points: Sequence[ParetoPoint]) -> list[ParetoPoint]:
+    """The non-dominated subset, sorted by area.
+
+    O(n log n): sweep by increasing area, keep points that improve the
+    best performance seen so far.  Ties in area keep only the fastest.
+    """
+    ordered = sorted(points, key=lambda p: (p.area, -p.performance))
+    front: list[ParetoPoint] = []
+    best = float("-inf")
+    for point in ordered:
+        if point.performance > best:
+            front.append(point)
+            best = point.performance
+    return front
+
+
+@dataclass(frozen=True)
+class FrontierRow:
+    """One row of a Table 5-style frontier report."""
+
+    point: ParetoPoint
+    area_increase: float | None  # vs previous frontier row
+    perf_increase: float | None
+
+
+def frontier_rows(points: Sequence[ParetoPoint]) -> list[FrontierRow]:
+    """Table 5's incremental columns: area and AIPC increase over the
+    previous Pareto-optimal configuration."""
+    front = pareto_front(points)
+    rows: list[FrontierRow] = []
+    prev: ParetoPoint | None = None
+    for point in front:
+        if prev is None:
+            rows.append(FrontierRow(point, None, None))
+        else:
+            rows.append(
+                FrontierRow(
+                    point,
+                    point.area / prev.area - 1.0,
+                    point.performance / prev.performance - 1.0
+                    if prev.performance
+                    else None,
+                )
+            )
+        prev = point
+    return rows
+
+
+def best_performance_per_area(
+    points: Sequence[ParetoPoint],
+) -> ParetoPoint:
+    """The design with the highest performance/area ratio (the paper's
+    configuration 'c' criterion)."""
+    if not points:
+        raise ValueError("no points")
+    return max(points, key=lambda p: (p.performance / p.area, -p.area))
+
+
+def evaluate_points(
+    items: Sequence[T],
+    area_of: Callable[[T], float],
+    perf_of: Callable[[T], float],
+    label_of: Callable[[T], str],
+) -> list[ParetoPoint]:
+    """Adapter: evaluate arbitrary design objects into ParetoPoints."""
+    return [
+        ParetoPoint(
+            label=label_of(item),
+            area=area_of(item),
+            performance=perf_of(item),
+            payload=item,
+        )
+        for item in items
+    ]

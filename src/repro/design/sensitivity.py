@@ -1,0 +1,134 @@
+"""One-at-a-time parameter sensitivity analysis.
+
+Section 4.2's conclusion -- "many features of the microarchitecture,
+including the data-cache, matching-table, and instruction store, must
+be tuned carefully" -- made quantitative: starting from a base
+configuration, vary one parameter at a time and record how performance
+and area respond.  The result ranks parameters by their performance
+leverage per unit of area, which is exactly the information an
+architect tuning a tile needs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from ..area.model import chip_area
+from ..core.config import WaveScalarConfig
+
+#: Parameter -> the alternative values a sensitivity sweep tries.
+DEFAULT_AXES: Mapping[str, Sequence] = {
+    "matching_entries": (16, 32, 64, 128),
+    "virtualization": (16, 32, 64, 128),
+    "l1_kb": (8, 16, 32),
+    "l2_mb": (0, 1, 2, 4),
+    "pes_per_domain": (2, 4, 8),
+    "domains_per_cluster": (1, 2, 4),
+    "partial_store_queues": (0, 1, 2, 4),
+}
+
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    """One (parameter, value) variation of the base configuration."""
+
+    parameter: str
+    value: object
+    config: WaveScalarConfig
+    area_mm2: float
+    performance: float
+
+
+@dataclass(frozen=True)
+class SensitivityAxis:
+    """All variations of one parameter, plus leverage summary."""
+
+    parameter: str
+    points: tuple[SensitivityPoint, ...]
+
+    @property
+    def performance_swing(self) -> float:
+        """max/min performance over the axis (1.0 = insensitive)."""
+        perfs = [p.performance for p in self.points if p.performance > 0]
+        if not perfs:
+            return 1.0
+        return max(perfs) / min(perfs)
+
+    @property
+    def area_swing(self) -> float:
+        areas = [p.area_mm2 for p in self.points]
+        return max(areas) / min(areas)
+
+    @property
+    def leverage(self) -> float:
+        """Performance swing per area swing: >1 means the parameter
+        buys more performance than it costs silicon."""
+        return self.performance_swing / self.area_swing
+
+
+def _vary(base: WaveScalarConfig, parameter: str,
+          value) -> WaveScalarConfig | None:
+    try:
+        config = dataclasses.replace(base, **{parameter: value})
+    except ValueError:
+        return None
+    # Keep the matching table legal relative to pods etc.
+    if config.pes_per_domain % 2 and config.pods_enabled \
+            and config.pes_per_domain > 1:
+        return None
+    return config
+
+
+def sweep(
+    base: WaveScalarConfig,
+    evaluate: Callable[[WaveScalarConfig], float],
+    axes: Mapping[str, Sequence] = DEFAULT_AXES,
+) -> list[SensitivityAxis]:
+    """Evaluate every one-parameter variation of ``base``.
+
+    ``evaluate`` maps a configuration to a performance figure (AIPC in
+    the benchmark harness; tests use analytic stand-ins).  Axes whose
+    every variation is illegal are dropped.
+    """
+    results = []
+    for parameter, values in axes.items():
+        points = []
+        for value in values:
+            config = _vary(base, parameter, value)
+            if config is None:
+                continue
+            points.append(
+                SensitivityPoint(
+                    parameter=parameter,
+                    value=value,
+                    config=config,
+                    area_mm2=chip_area(config),
+                    performance=evaluate(config),
+                )
+            )
+        if points:
+            results.append(
+                SensitivityAxis(parameter=parameter, points=tuple(points))
+            )
+    results.sort(key=lambda axis: -axis.performance_swing)
+    return results
+
+
+def render(axes: Sequence[SensitivityAxis]) -> str:
+    """Text table: one row per (parameter, value)."""
+    lines = [
+        f"{'parameter':<22}{'value':>7}{'area':>8}{'perf':>8}"
+        f"{'swing':>8}{'leverage':>10}"
+    ]
+    for axis in axes:
+        for index, point in enumerate(axis.points):
+            swing = f"{axis.performance_swing:.2f}x" if index == 0 else ""
+            lever = f"{axis.leverage:.2f}" if index == 0 else ""
+            lines.append(
+                f"{point.parameter:<22}{point.value!s:>7}"
+                f"{point.area_mm2:>8.0f}{point.performance:>8.3f}"
+                f"{swing:>8}{lever:>10}"
+            )
+    return "\n".join(lines)

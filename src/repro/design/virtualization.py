@@ -1,0 +1,132 @@
+"""Matching-table tuning: the Table 4 machinery (Section 4.2).
+
+The paper balances matching-table capacity against instruction-store
+capacity through the *matching table equation* ``M = V*k/u``:
+
+* ``k`` -- the k-loop bound: at most ``k`` input instances may
+  accumulate per static instruction.  ``k_opt`` is found per
+  application by raising ``k`` on a processor with an infinite
+  matching table until performance stops improving.
+* ``u`` -- the over-subscription factor.  ``u_opt`` is the largest
+  ``u`` (with ``V = 256``, ``M = 256*k_opt/u``) before performance
+  drops significantly.
+* ``k_opt / u_opt`` is the application's *virtualization ratio*; the
+  processor-wide ratio is chosen as the (power-of-two) maximum over
+  the workload suite -- 1 in the paper.
+
+The sweep drivers here are pure algorithms over a caller-supplied
+``evaluate(k, matching_entries) -> performance`` function, so unit
+tests can exercise them with analytic stand-ins and the benchmark
+harness plugs in the real simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+#: "Infinite" matching table stand-in for the k sweep.
+INFINITE_MATCHING = 1 << 20
+
+#: Improvement below this fraction counts as "no longer improves".
+K_IMPROVEMENT_THRESHOLD = 0.02
+
+#: Performance drop beyond this fraction counts as "decreases
+#: significantly" for the u sweep.
+U_DROP_THRESHOLD = 0.05
+
+
+@dataclass(frozen=True)
+class TuningResult:
+    """Per-application Table 4 row."""
+
+    application: str
+    k_opt: int
+    u_opt: int
+    virtualization_ratio: float
+
+    def ratio_str(self) -> str:
+        return f"{self.virtualization_ratio:.2f}"
+
+
+def find_k_opt(
+    evaluate: Callable[[int, int], float],
+    k_candidates: Sequence[int] = (1, 2, 3, 4, 6, 8),
+    threshold: float = K_IMPROVEMENT_THRESHOLD,
+) -> int:
+    """Smallest k whose successor yields < ``threshold`` improvement.
+
+    ``evaluate(k, matching_entries)`` returns performance (higher is
+    better); the sweep runs with an effectively infinite matching
+    table.
+    """
+    best_k = k_candidates[0]
+    best_perf = evaluate(k_candidates[0], INFINITE_MATCHING)
+    for k in k_candidates[1:]:
+        perf = evaluate(k, INFINITE_MATCHING)
+        if best_perf > 0 and (perf - best_perf) / best_perf < threshold:
+            return best_k
+        best_k, best_perf = k, perf
+    return best_k
+
+
+def find_u_opt(
+    evaluate: Callable[[int, int], float],
+    k_opt: int,
+    v: int = 256,
+    u_candidates: Sequence[int] = (1, 2, 4, 8, 16, 32, 64),
+    threshold: float = U_DROP_THRESHOLD,
+) -> int:
+    """Largest u before performance drops by > ``threshold`` relative
+    to the unsubscribed (u=1) baseline."""
+    baseline = evaluate(k_opt, max(1, v * k_opt))
+    if baseline <= 0:
+        return u_candidates[0]
+    best_u = u_candidates[0]
+    for u in u_candidates:
+        entries = max(1, (v * k_opt) // u)
+        perf = evaluate(k_opt, entries)
+        if (baseline - perf) / baseline > threshold:
+            break
+        best_u = u
+    return best_u
+
+
+def tune_application(
+    name: str,
+    evaluate: Callable[[int, int], float],
+    v: int = 256,
+    k_candidates: Sequence[int] = (1, 2, 3, 4, 6, 8),
+    u_candidates: Sequence[int] = (1, 2, 4, 8, 16, 32, 64),
+) -> TuningResult:
+    """Full Table 4 row for one application."""
+    k_opt = find_k_opt(evaluate, k_candidates)
+    u_opt = find_u_opt(evaluate, k_opt, v=v, u_candidates=u_candidates)
+    return TuningResult(
+        application=name,
+        k_opt=k_opt,
+        u_opt=u_opt,
+        virtualization_ratio=k_opt / u_opt,
+    )
+
+
+def processor_ratio(results: Sequence[TuningResult]) -> float:
+    """The processor-wide virtualization ratio: the maximum
+    per-application ratio, rounded up to a power of two (the paper's
+    conservative choice -- instruction misses cost ~3x matching
+    misses, so err toward instruction capacity)."""
+    if not results:
+        raise ValueError("no tuning results")
+    worst = max(r.virtualization_ratio for r in results)
+    ratio = 1.0 / 8.0
+    while ratio < worst:
+        ratio *= 2.0
+    return ratio
+
+
+def matching_entries_for(
+    v: int, ratio: float, minimum: int = 16, maximum: int = 128
+) -> int:
+    """M implied by the matching-table equation, clamped to the RTL
+    structure-size limits."""
+    return max(minimum, min(maximum, int(v * ratio)))

@@ -1,0 +1,216 @@
+"""Binary encoding of WaveScalar programs.
+
+The textual assembly (:mod:`repro.lang.assembler`) is the human format;
+this module defines the *binary* one -- the byte layout a binary
+translator would emit and an instruction store would hold.  It also
+grounds the instruction-store area estimate
+(:func:`repro.area.estimator.istore_entry_bits`): the packed
+instruction word below is 16 bytes + destinations, comparable to the
+~110 bits the estimator assumes for the decoded form.
+
+Layout (little-endian):
+
+    header:  magic "WSBL", format version u16, instruction count u32,
+             entry-token count u32, memory-cell count u32
+    per instruction:
+        opcode u8, flags u8 (bit0: has immediate, bit1: has wave
+        annotation), n_dests u8, n_false_dests u8,
+        [immediate f64 if flagged]
+        [wave annotation: prev i32, this i32, next i32, region u32]
+        dests: (inst u32, port u8) each
+    per entry token: thread u32, wave u32, inst u32, port u8, value f64
+    per memory cell: address u64, value f64
+
+Integers and floats share the f64 value slot; integral values
+round-trip exactly up to 2^53 (far beyond any workload constant).
+"""
+
+from __future__ import annotations
+
+import struct
+
+from .graph import DataflowGraph, ThreadInfo
+from .instruction import Dest, Instruction
+from .opcodes import Opcode
+from .token import make_token
+from .waves import WaveAnnotation
+
+MAGIC = b"WSBL"
+VERSION = 1
+
+_OPCODE_IDS = {op: i for i, op in enumerate(Opcode)}
+_OPCODES_BY_ID = {i: op for op, i in _OPCODE_IDS.items()}
+
+_HEADER = struct.Struct("<4sHIII")
+_INST_HEAD = struct.Struct("<BBBB")
+_F64 = struct.Struct("<d")
+_ANNOTATION = struct.Struct("<iiiI")
+_DEST = struct.Struct("<IB")
+_ENTRY = struct.Struct("<IIIBd")
+_CELL = struct.Struct("<Qd")
+
+
+class EncodingError(ValueError):
+    """Raised on malformed binary input."""
+
+
+def _pack_value(value: int | float) -> tuple[bytes, bool]:
+    """Encode a value in the f64 slot; bool marks 'was an int'."""
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        value = int(value)
+    if isinstance(value, int):
+        if abs(value) >= 2**53:
+            raise EncodingError(f"integer {value} exceeds exact f64 range")
+        return _F64.pack(float(value)), True
+    return _F64.pack(value), False
+
+
+def encode(graph: DataflowGraph) -> bytes:
+    """Serialise ``graph`` to its binary form."""
+    out = bytearray()
+    out += _HEADER.pack(
+        MAGIC, VERSION, len(graph.instructions),
+        len(graph.entry_tokens), len(graph.initial_memory),
+    )
+    int_flags: list[int] = []  # per-instruction "immediate was int"
+    for inst in graph.instructions:
+        flags = 0
+        if inst.immediate is not None:
+            flags |= 1
+        if inst.wave_annotation is not None:
+            flags |= 2
+        if isinstance(inst.immediate, int):
+            flags |= 4
+        out += _INST_HEAD.pack(
+            _OPCODE_IDS[inst.opcode], flags,
+            len(inst.dests), len(inst.false_dests),
+        )
+        if inst.immediate is not None:
+            packed, _ = _pack_value(inst.immediate)
+            out += packed
+        if inst.wave_annotation is not None:
+            ann = inst.wave_annotation
+            out += _ANNOTATION.pack(ann.prev, ann.this, ann.next,
+                                    ann.region)
+        for dest in inst.dests + inst.false_dests:
+            out += _DEST.pack(dest.inst, dest.port)
+        int_flags.append(flags)
+    for token in graph.entry_tokens:
+        packed, was_int = _pack_value(token.value)
+        out += _ENTRY.pack(
+            token.thread, token.wave, token.inst,
+            (token.port << 1) | int(was_int),
+            struct.unpack("<d", packed)[0],
+        )
+    for address in sorted(graph.initial_memory):
+        value = graph.initial_memory[address]
+        packed, was_int = _pack_value(value)
+        out += _CELL.pack(
+            (address << 1) | int(was_int),
+            struct.unpack("<d", packed)[0],
+        )
+    # Thread table (appendix): thread id + member count + member ids.
+    out += struct.pack("<I", len(graph.threads))
+    for tinfo in graph.threads:
+        out += struct.pack("<II", tinfo.thread_id,
+                           len(tinfo.instructions))
+        for inst_id in tinfo.instructions:
+            out += struct.pack("<I", inst_id)
+    return bytes(out)
+
+
+def decode(data: bytes, name: str = "binary") -> DataflowGraph:
+    """Reconstruct a :class:`DataflowGraph` from :func:`encode` output."""
+    view = memoryview(data)
+    offset = 0
+
+    def take(fmt: struct.Struct):
+        nonlocal offset
+        if offset + fmt.size > len(view):
+            raise EncodingError("truncated binary")
+        values = fmt.unpack_from(view, offset)
+        offset += fmt.size
+        return values
+
+    magic, version, n_inst, n_entry, n_cells = take(_HEADER)
+    if magic != MAGIC:
+        raise EncodingError(f"bad magic {magic!r}")
+    if version != VERSION:
+        raise EncodingError(f"unsupported version {version}")
+
+    instructions = []
+    for inst_id in range(n_inst):
+        op_id, flags, n_dests, n_false = take(_INST_HEAD)
+        opcode = _OPCODES_BY_ID.get(op_id)
+        if opcode is None:
+            raise EncodingError(f"unknown opcode id {op_id}")
+        immediate = None
+        if flags & 1:
+            (raw,) = take(_F64)
+            immediate = int(raw) if flags & 4 else raw
+        annotation = None
+        if flags & 2:
+            prev, this, nxt, region = take(_ANNOTATION)
+            annotation = WaveAnnotation(prev=prev, this=this, next=nxt,
+                                        region=region)
+        dests = tuple(Dest(*take(_DEST)) for _ in range(n_dests))
+        false_dests = tuple(Dest(*take(_DEST)) for _ in range(n_false))
+        instructions.append(
+            Instruction(
+                inst_id=inst_id,
+                opcode=opcode,
+                dests=dests,
+                false_dests=false_dests,
+                immediate=immediate,
+                wave_annotation=annotation,
+            )
+        )
+
+    entry_tokens = []
+    for _ in range(n_entry):
+        thread, wave, inst, port_flag, raw = take(_ENTRY)
+        value = int(raw) if port_flag & 1 else raw
+        entry_tokens.append(
+            make_token(thread, wave, inst, port_flag >> 1, value)
+        )
+
+    initial_memory: dict[int, int | float] = {}
+    for _ in range(n_cells):
+        addr_flag, raw = take(_CELL)
+        initial_memory[addr_flag >> 1] = int(raw) if addr_flag & 1 else raw
+
+    (n_threads,) = struct.unpack_from("<I", view, offset)
+    offset += 4
+    threads = []
+    for _ in range(n_threads):
+        thread_id, count = struct.unpack_from("<II", view, offset)
+        offset += 8
+        members = struct.unpack_from(f"<{count}I", view, offset)
+        offset += 4 * count
+        threads.append(ThreadInfo(thread_id=thread_id,
+                                  instructions=tuple(members)))
+
+    return DataflowGraph(
+        instructions=instructions,
+        entry_tokens=entry_tokens,
+        initial_memory=initial_memory,
+        threads=threads,
+        name=name,
+    )
+
+
+def encoded_bits_per_instruction(graph: DataflowGraph) -> float:
+    """Mean packed size (bits) per instruction -- the figure the
+    instruction-store area estimate rests on."""
+    if not graph.instructions:
+        return 0.0
+    body = encode(graph)
+    fixed = (
+        _HEADER.size
+        + len(graph.entry_tokens) * _ENTRY.size
+        + len(graph.initial_memory) * _CELL.size
+    )
+    thread_bytes = 4 + sum(8 + 4 * len(t.instructions)
+                           for t in graph.threads)
+    inst_bytes = len(body) - fixed - thread_bytes
+    return 8.0 * inst_bytes / len(graph.instructions)

@@ -1,0 +1,125 @@
+"""Operational semantics of WaveScalar opcodes.
+
+Shared by the functional reference interpreter
+(:mod:`repro.lang.interp`) and the cycle-level simulator's EXECUTE stage
+so the two can never diverge.
+
+Values are Python ints/floats standing in for 64-bit machine words.
+Division and modulo by zero produce 0 (a common safe-hardware choice)
+rather than trapping, so design-space sweeps never die on a stray
+workload corner case.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional, Sequence
+
+from .opcodes import Opcode
+from .token import Value
+
+
+def _idiv(a: Value, b: Value) -> int:
+    if b == 0:
+        return 0
+    return int(a) // int(b) if (a >= 0) == (b >= 0) else -(int(abs(a)) // int(abs(b)))
+
+
+def _imod(a: Value, b: Value) -> int:
+    if b == 0:
+        return 0
+    return int(a) - _idiv(a, b) * int(b)
+
+
+def _fdiv(a: Value, b: Value) -> float:
+    if b == 0:
+        return 0.0
+    return float(a) / float(b)
+
+
+def _fsqrt(a: Value) -> float:
+    return math.sqrt(a) if a >= 0 else 0.0
+
+
+_EVALUATORS: dict[Opcode, Callable[..., Value]] = {
+    Opcode.ADD: lambda a, b: int(a) + int(b),
+    Opcode.SUB: lambda a, b: int(a) - int(b),
+    Opcode.MUL: lambda a, b: int(a) * int(b),
+    Opcode.DIV: _idiv,
+    Opcode.MOD: _imod,
+    Opcode.AND: lambda a, b: int(a) & int(b),
+    Opcode.OR: lambda a, b: int(a) | int(b),
+    Opcode.XOR: lambda a, b: int(a) ^ int(b),
+    Opcode.NOT: lambda a: ~int(a),
+    Opcode.SHL: lambda a, b: int(a) << max(0, min(63, int(b))),
+    Opcode.SHR: lambda a, b: (int(a) % (1 << 64)) >> max(0, min(63, int(b))),
+    Opcode.SAR: lambda a, b: int(a) >> max(0, min(63, int(b))),
+    Opcode.NEG: lambda a: -int(a),
+    Opcode.ABS: lambda a: abs(int(a)),
+    Opcode.MIN: lambda a, b: min(int(a), int(b)),
+    Opcode.MAX: lambda a, b: max(int(a), int(b)),
+    Opcode.EQ: lambda a, b: int(a == b),
+    Opcode.NE: lambda a, b: int(a != b),
+    Opcode.LT: lambda a, b: int(a < b),
+    Opcode.LE: lambda a, b: int(a <= b),
+    Opcode.GT: lambda a, b: int(a > b),
+    Opcode.GE: lambda a, b: int(a >= b),
+    Opcode.FADD: lambda a, b: float(a) + float(b),
+    Opcode.FSUB: lambda a, b: float(a) - float(b),
+    Opcode.FMUL: lambda a, b: float(a) * float(b),
+    Opcode.FDIV: _fdiv,
+    Opcode.FSQRT: _fsqrt,
+    Opcode.FNEG: lambda a: -float(a),
+    Opcode.FABS: lambda a: abs(float(a)),
+    Opcode.FLT: lambda a, b: int(float(a) < float(b)),
+    Opcode.FLE: lambda a, b: int(float(a) <= float(b)),
+    Opcode.FEQ: lambda a, b: int(float(a) == float(b)),
+    Opcode.I2F: lambda a: float(int(a)),
+    Opcode.F2I: lambda a: int(a),
+    Opcode.NOP: lambda a: a,
+    Opcode.WAVE_ADVANCE: lambda a: a,
+    Opcode.THREAD_SPAWN: lambda a: a,
+    Opcode.THREAD_HALT: lambda a: a,
+    Opcode.OUTPUT: lambda a: a,
+    Opcode.MEMORY_NOP: lambda a: a,
+}
+
+
+def evaluate(
+    opcode: Opcode,
+    operands: Sequence[Value],
+    immediate: Optional[Value] = None,
+) -> Value:
+    """Compute the result value of a non-routing instruction.
+
+    STEER/MERGE routing decisions and memory accesses are made by the
+    caller (they need tag or memory context); for those this function
+    returns the forwarded *data* value:
+
+    * STEER forwards operand 0 (operand 1 is the predicate),
+    * MERGE forwards operand 0 or 1 according to operand 2,
+    * CONST ignores operands and returns the immediate,
+    * LOAD/STORE return the address/data (the caller performs the
+      access).
+    """
+    if opcode is Opcode.CONST:
+        if immediate is None:
+            raise ValueError("CONST requires an immediate")
+        return immediate
+    if opcode is Opcode.STEER:
+        return operands[0]
+    if opcode is Opcode.MERGE:
+        return operands[0] if operands[2] else operands[1]
+    if opcode is Opcode.LOAD:
+        return operands[0]
+    if opcode is Opcode.STORE:
+        return operands[1]
+    evaluator = _EVALUATORS.get(opcode)
+    if evaluator is None:
+        raise ValueError(f"no semantics for {opcode.name}")
+    return evaluator(*operands)
+
+
+def steer_taken(operands: Sequence[Value]) -> bool:
+    """Whether a STEER forwards to its true-side destinations."""
+    return bool(operands[1])

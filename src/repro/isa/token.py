@@ -1,0 +1,77 @@
+"""Tagged tokens -- the unit of data in a dynamic dataflow machine.
+
+A WaveScalar token pairs a 64-bit value with a *tag*.  The tag carries
+everything needed to match the value with its consumer instruction:
+
+* ``thread``  -- the programmer-created thread the value belongs to,
+* ``wave``    -- the dynamic wave number (incremented by WAVE_ADVANCE on
+  loop back-edges, so each loop iteration executes in its own wave),
+* ``inst``    -- the static id of the consumer instruction,
+* ``port``    -- which of the consumer's input operands this value fills.
+
+Tokens for the same ``(thread, wave, inst)`` rendezvous in the consumer
+PE's matching table; when all ``arity`` ports are present the instruction
+fires (the dataflow firing rule).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+Value = Union[int, float]
+
+
+@dataclass(frozen=True, slots=True)
+class Tag:
+    """The matching tag of a token."""
+
+    thread: int
+    wave: int
+    inst: int
+    port: int
+
+    def with_wave(self, wave: int) -> "Tag":
+        """Return a copy of this tag in a different wave."""
+        return Tag(self.thread, wave, self.inst, self.port)
+
+    def match_key(self) -> tuple[int, int, int]:
+        """The rendezvous key: tokens with equal keys match each other."""
+        return (self.thread, self.wave, self.inst)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<t{self.thread}.w{self.wave}.i{self.inst}[{self.port}]>"
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """A tagged value in flight."""
+
+    tag: Tag
+    value: Value
+
+    @property
+    def thread(self) -> int:
+        return self.tag.thread
+
+    @property
+    def wave(self) -> int:
+        return self.tag.wave
+
+    @property
+    def inst(self) -> int:
+        return self.tag.inst
+
+    @property
+    def port(self) -> int:
+        return self.tag.port
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Token({self.tag!r}={self.value!r})"
+
+
+def make_token(
+    thread: int, wave: int, inst: int, port: int, value: Value
+) -> Token:
+    """Convenience constructor used heavily by tests and the toolchain."""
+    return Token(Tag(thread, wave, inst, port), value)

@@ -1,0 +1,153 @@
+"""Wave-ordered memory annotations.
+
+WaveScalar executes imperative-language programs by annotating every
+memory instruction with its position in the *program order* of its wave.
+Each memory operation carries a triple ``<prev, this, next>``:
+
+* ``this`` -- the operation's own sequence number within the wave,
+* ``prev`` -- the sequence number of the memory operation that
+  immediately precedes it in program order, or ``UNKNOWN`` ('?') when the
+  predecessor depends on a branch not yet resolved,
+* ``next`` -- the successor's sequence number, or ``UNKNOWN`` when it
+  depends on an untaken-yet branch.
+
+The store buffer (repro.sim.storebuffer) uses these annotations to issue
+memory operations in program order: an operation may issue once its
+predecessor link is resolved, either directly (``prev`` matches the last
+issued operation) or through a *ripple* (the previous operation named
+this one in its ``next`` field).
+
+Compilers must guarantee that along every control path the chain of
+annotations is gap-free; MEMORY_NOP instructions are inserted on branch
+paths that contain no memory operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Sentinel for an unresolved predecessor/successor ('?' in the paper).
+UNKNOWN = -1
+
+#: Sequence number marking the first operation of a wave (its ``prev``).
+WAVE_START = -2
+
+#: ``next`` value marking the last operation of a wave.
+WAVE_END = -3
+
+
+@dataclass(frozen=True, slots=True)
+class WaveAnnotation:
+    """The ``<prev, this, next>`` ordering triple of one memory op.
+
+    ``region`` identifies the static wave region (single-entry
+    single-exit code between wave boundaries) the annotation belongs
+    to; sequence numbers are unique *within* a region.  At runtime each
+    dynamic wave executes exactly one region, so the store buffer
+    disambiguates chains by dynamic wave number alone -- ``region`` is
+    metadata for verification and debugging.
+    """
+
+    prev: int
+    this: int
+    next: int
+    region: int = 0
+
+    def __post_init__(self) -> None:
+        if self.this < 0:
+            raise ValueError(f"'this' must be a real sequence number: {self.this}")
+        if self.prev >= self.this and self.prev not in (UNKNOWN, WAVE_START):
+            raise ValueError(
+                f"prev ({self.prev}) must precede this ({self.this})"
+            )
+        if self.next != UNKNOWN and self.next != WAVE_END and self.next <= self.this:
+            raise ValueError(
+                f"next ({self.next}) must follow this ({self.this})"
+            )
+
+    @property
+    def is_first(self) -> bool:
+        """True if this is statically known to start its wave."""
+        return self.prev == WAVE_START
+
+    @property
+    def is_last(self) -> bool:
+        """True if this is statically known to end its wave."""
+        return self.next == WAVE_END
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        def show(x: int) -> str:
+            if x == UNKNOWN:
+                return "?"
+            if x == WAVE_START:
+                return "^"
+            if x == WAVE_END:
+                return "$"
+            return str(x)
+
+        return f"<{show(self.prev)},{show(self.this)},{show(self.next)}>"
+
+
+class WaveSequencer:
+    """Assigns gap-free wave annotations while a graph is being built.
+
+    The builder calls :meth:`next_annotation` for every memory operation
+    it emits, in program order.  Straight-line code produces fully
+    resolved chains.  For branches the builder brackets the divergent
+    region with :meth:`fork`/:meth:`join`; operations on the two arms
+    receive ``UNKNOWN`` links that the store buffer resolves dynamically
+    through ripples.
+    """
+
+    def __init__(self) -> None:
+        self._counter = 0
+        self._prev: int = WAVE_START
+        self._prev_unknown = False
+
+    @property
+    def count(self) -> int:
+        """Number of sequence slots handed out so far."""
+        return self._counter
+
+    def next_annotation(self) -> WaveAnnotation:
+        """Annotation for the next memory op in straight-line order.
+
+        The returned annotation has ``next = UNKNOWN``; callers patch the
+        successor link via :func:`patch_next` once the successor is
+        known.  The builder wrapper handles this automatically.
+        """
+        this = self._counter
+        self._counter += 1
+        prev = UNKNOWN if self._prev_unknown else self._prev
+        self._prev = this
+        self._prev_unknown = False
+        return WaveAnnotation(prev=prev, this=this, next=UNKNOWN)
+
+    def mark_divergent(self) -> None:
+        """Record that the next op's predecessor is control-dependent.
+
+        After a fork, the first memory operation on each arm cannot name
+        its predecessor statically, so its ``prev`` becomes UNKNOWN and
+        ordering relies on the predecessor's ``next`` ripple.
+        """
+        self._prev_unknown = True
+
+    def reserve(self) -> int:
+        """Reserve a sequence number without emitting an annotation."""
+        this = self._counter
+        self._counter += 1
+        return this
+
+
+def patch_next(ann: WaveAnnotation, next_seq: int) -> WaveAnnotation:
+    """Return ``ann`` with its successor link filled in."""
+    return WaveAnnotation(
+        prev=ann.prev, this=ann.this, next=next_seq, region=ann.region
+    )
+
+
+def close_wave(ann: WaveAnnotation) -> WaveAnnotation:
+    """Return ``ann`` marked as the final operation of its wave."""
+    return WaveAnnotation(
+        prev=ann.prev, this=ann.this, next=WAVE_END, region=ann.region
+    )

@@ -1,0 +1,28 @@
+"""WaveScalar program construction toolchain.
+
+Replaces the paper's Alpha-binary-translation flow: programs are built
+with the :class:`GraphBuilder` EDSL (or parsed from textual assembly),
+k-loop bounded, and handed to placement and the simulator.
+"""
+
+from .assembler import AssemblerError, assemble
+from .builder import MAX_FANOUT, BuildError, GraphBuilder, IfElse, Loop, Node
+from .disasm import disassemble
+from .dot import to_dot
+from .kbound import backedge_ids, k_bound_of, set_k_bound
+
+__all__ = [
+    "AssemblerError",
+    "assemble",
+    "MAX_FANOUT",
+    "BuildError",
+    "GraphBuilder",
+    "IfElse",
+    "Loop",
+    "Node",
+    "disassemble",
+    "to_dot",
+    "backedge_ids",
+    "k_bound_of",
+    "set_k_bound",
+]

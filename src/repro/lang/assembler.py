@@ -1,0 +1,200 @@
+"""Textual WaveScalar assembly.
+
+The paper's tool-chain ends in "our WaveScalar assembler"; this module
+provides the equivalent: a human-readable, line-oriented format that
+round-trips with :class:`repro.isa.DataflowGraph`.
+
+Format
+------
+A program is a sequence of directives and instruction lines::
+
+    .program dot
+    .memory 0 = 3
+    .memory 1 = 4
+    .entry i0[0] t0 = 1
+    .thread 1 : i4 i5 i6
+
+    i0: NOP -> i1[0], i2[0]                     ; entry
+    i1: CONST #8 -> i3[0]
+    i2: LOAD <^,0,$> -> i3[1]
+    i3: ADD -> i4[0]
+    i4: STEER -> i5[0] / i6[0]
+    i5: STORE <?,1,$>
+    i6: OUTPUT
+
+* ``#imm`` is the immediate; ``<prev,this,next>`` the wave annotation
+  where ``^`` is wave-start, ``$`` wave-end and ``?`` unknown.
+* Destinations after ``->`` are the true-side targets; targets after
+  ``/`` are a steer's false-side targets.
+* ``;`` starts a comment; the disassembler emits labels there.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..isa.graph import DataflowGraph, ThreadInfo
+from ..isa.instruction import Dest, Instruction
+from ..isa.opcodes import OPCODES_BY_NAME
+from ..isa.token import make_token
+from ..isa.waves import UNKNOWN, WAVE_END, WAVE_START, WaveAnnotation
+
+
+class AssemblerError(ValueError):
+    """Raised on malformed assembly input."""
+
+    def __init__(self, lineno: int, message: str) -> None:
+        super().__init__(f"line {lineno}: {message}")
+        self.lineno = lineno
+
+
+_DEST_RE = re.compile(r"i(\d+)\[(\d+)\]")
+_INST_RE = re.compile(
+    r"^i(?P<id>\d+):\s*(?P<op>[A-Z_0-9]+)"
+    r"(?:\s+#(?P<imm>-?[\d.]+))?"
+    r"(?:\s+<(?P<ann>[^>]+)>)?"
+    r"(?:\s*->\s*(?P<dests>[^/;]*))?"
+    r"(?:/\s*(?P<fdests>[^;]*))?\s*$"
+)
+_ENTRY_RE = re.compile(
+    r"^\.entry\s+i(\d+)\[(\d+)\]\s+t(\d+)\s*=\s*(-?[\d.]+)$"
+)
+_MEMORY_RE = re.compile(r"^\.memory\s+(\d+)\s*=\s*(-?[\d.]+)$")
+_THREAD_RE = re.compile(r"^\.thread\s+(\d+)\s*:\s*(.*)$")
+
+
+def _parse_number(text: str) -> int | float:
+    return float(text) if "." in text else int(text)
+
+
+def _parse_seq(text: str) -> int:
+    if text == "^":
+        return WAVE_START
+    if text == "$":
+        return WAVE_END
+    if text == "?":
+        return UNKNOWN
+    return int(text)
+
+
+def _parse_dests(text: str, lineno: int) -> tuple[Dest, ...]:
+    text = text.strip()
+    if not text:
+        return ()
+    dests = []
+    for part in text.split(","):
+        match = _DEST_RE.fullmatch(part.strip())
+        if not match:
+            raise AssemblerError(lineno, f"bad destination {part.strip()!r}")
+        dests.append(Dest(int(match.group(1)), int(match.group(2))))
+    return tuple(dests)
+
+
+def assemble(text: str, verify: bool = True) -> DataflowGraph:
+    """Parse assembly ``text`` into a :class:`DataflowGraph`."""
+    name = "anonymous"
+    slots: dict[int, Instruction] = {}
+    entry_tokens = []
+    initial_memory: dict[int, int | float] = {}
+    threads: list[ThreadInfo] = []
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split(";", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith(".program"):
+            name = line.split(None, 1)[1].strip()
+            continue
+        if line.startswith(".memory"):
+            match = _MEMORY_RE.match(line)
+            if not match:
+                raise AssemblerError(lineno, f"bad .memory directive: {line}")
+            initial_memory[int(match.group(1))] = _parse_number(match.group(2))
+            continue
+        if line.startswith(".entry"):
+            match = _ENTRY_RE.match(line)
+            if not match:
+                raise AssemblerError(lineno, f"bad .entry directive: {line}")
+            inst, port, thread, value = match.groups()
+            entry_tokens.append(
+                make_token(
+                    thread=int(thread),
+                    wave=0,
+                    inst=int(inst),
+                    port=int(port),
+                    value=_parse_number(value),
+                )
+            )
+            continue
+        if line.startswith(".thread"):
+            match = _THREAD_RE.match(line)
+            if not match:
+                raise AssemblerError(lineno, f"bad .thread directive: {line}")
+            ids = tuple(
+                int(part[1:]) for part in match.group(2).split() if part
+            )
+            threads.append(
+                ThreadInfo(thread_id=int(match.group(1)), instructions=ids)
+            )
+            continue
+
+        match = _INST_RE.match(line)
+        if not match:
+            raise AssemblerError(lineno, f"unparseable line: {line!r}")
+        inst_id = int(match.group("id"))
+        op_name = match.group("op")
+        if op_name not in OPCODES_BY_NAME:
+            raise AssemblerError(lineno, f"unknown opcode {op_name!r}")
+        opcode = OPCODES_BY_NAME[op_name]
+        immediate = None
+        if match.group("imm") is not None:
+            immediate = _parse_number(match.group("imm"))
+        annotation = None
+        if match.group("ann") is not None:
+            parts = [p.strip() for p in match.group("ann").split(",")]
+            if len(parts) not in (3, 4):
+                raise AssemblerError(
+                    lineno, f"wave annotation needs 3 or 4 fields: {line}"
+                )
+            annotation = WaveAnnotation(
+                prev=_parse_seq(parts[0]),
+                this=_parse_seq(parts[1]),
+                next=_parse_seq(parts[2]),
+                region=int(parts[3]) if len(parts) == 4 else 0,
+            )
+        dests = _parse_dests(match.group("dests") or "", lineno)
+        false_dests = _parse_dests(match.group("fdests") or "", lineno)
+        if inst_id in slots:
+            raise AssemblerError(lineno, f"duplicate instruction id i{inst_id}")
+        try:
+            slots[inst_id] = Instruction(
+                inst_id=inst_id,
+                opcode=opcode,
+                dests=dests,
+                false_dests=false_dests,
+                immediate=immediate,
+                wave_annotation=annotation,
+            )
+        except ValueError as exc:
+            raise AssemblerError(lineno, str(exc)) from exc
+
+    if slots:
+        expected = set(range(max(slots) + 1))
+        missing = expected - set(slots)
+        if missing:
+            raise AssemblerError(
+                0, f"instruction ids not dense; missing {sorted(missing)[:5]}"
+            )
+    instructions = [slots[i] for i in range(len(slots))]
+    graph = DataflowGraph(
+        instructions=instructions,
+        entry_tokens=entry_tokens,
+        initial_memory=initial_memory,
+        threads=threads,
+        name=name,
+    )
+    if verify:
+        from ..isa.verify import verify_graph
+
+        verify_graph(graph)
+    return graph

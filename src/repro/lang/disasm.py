@@ -1,0 +1,67 @@
+"""Disassembler: DataflowGraph -> textual assembly.
+
+``assemble(disassemble(graph))`` reproduces the graph exactly (labels
+are carried in comments and dropped on re-assembly; everything
+architecturally meaningful round-trips).
+"""
+
+from __future__ import annotations
+
+from ..isa.graph import DataflowGraph
+from ..isa.instruction import Instruction
+from ..isa.waves import UNKNOWN, WAVE_END, WAVE_START
+
+
+def _seq_str(seq: int) -> str:
+    if seq == WAVE_START:
+        return "^"
+    if seq == WAVE_END:
+        return "$"
+    if seq == UNKNOWN:
+        return "?"
+    return str(seq)
+
+
+def _format_instruction(inst: Instruction) -> str:
+    parts = [f"i{inst.inst_id}: {inst.opcode.name}"]
+    if inst.immediate is not None:
+        parts.append(f"#{inst.immediate}")
+    if inst.wave_annotation is not None:
+        ann = inst.wave_annotation
+        parts.append(
+            f"<{_seq_str(ann.prev)},{_seq_str(ann.this)},"
+            f"{_seq_str(ann.next)},{ann.region}>"
+        )
+    if inst.dests:
+        parts.append(
+            "-> " + ", ".join(f"i{d.inst}[{d.port}]" for d in inst.dests)
+        )
+    if inst.false_dests:
+        if not inst.dests:
+            parts.append("->")
+        parts.append(
+            "/ " + ", ".join(f"i{d.inst}[{d.port}]" for d in inst.false_dests)
+        )
+    line = " ".join(parts)
+    if inst.label:
+        line += f"  ; {inst.label}"
+    return line
+
+
+def disassemble(graph: DataflowGraph) -> str:
+    """Render ``graph`` in the textual assembly format."""
+    lines = [f".program {graph.name}"]
+    for address in sorted(graph.initial_memory):
+        lines.append(f".memory {address} = {graph.initial_memory[address]}")
+    for token in graph.entry_tokens:
+        lines.append(
+            f".entry i{token.inst}[{token.port}] t{token.thread} "
+            f"= {token.value}"
+        )
+    for tinfo in graph.threads:
+        ids = " ".join(f"i{i}" for i in tinfo.instructions)
+        lines.append(f".thread {tinfo.thread_id} : {ids}")
+    lines.append("")
+    for inst in graph.instructions:
+        lines.append(_format_instruction(inst))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,105 @@
+"""Graphviz export of dataflow graphs.
+
+``to_dot(graph)`` renders a :class:`~repro.isa.DataflowGraph` as a DOT
+digraph: one node per instruction (coloured by opcode class, memory
+nodes annotated with their wave triple), solid edges for true-side
+destinations and dashed edges for a steer's false side.  Pipe the
+output through ``dot -Tsvg`` to visualise a kernel, or use
+``cluster_by`` to box nodes by thread or by placement.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Optional
+
+from ..isa.graph import DataflowGraph
+from ..isa.instruction import Instruction
+from ..isa.opcodes import OpClass
+
+#: Fill colours per opcode class (graphviz X11 names).
+CLASS_COLORS: Mapping[OpClass, str] = {
+    OpClass.INT_ALU: "lightblue",
+    OpClass.INT_MUL: "steelblue",
+    OpClass.FP: "lightpink",
+    OpClass.STEER: "gold",
+    OpClass.WAVE: "palegreen",
+    OpClass.CONST: "lightgrey",
+    OpClass.MEMORY: "orange",
+    OpClass.THREAD: "plum",
+    OpClass.MISC: "white",
+}
+
+
+def _label(inst: Instruction) -> str:
+    parts = [f"i{inst.inst_id} {inst.opcode.name}"]
+    if inst.immediate is not None:
+        parts.append(f"#{inst.immediate}")
+    if inst.wave_annotation is not None:
+        parts.append(repr(inst.wave_annotation))
+    if inst.label:
+        parts.append(inst.label)
+    return "\\n".join(p.replace('"', "'") for p in parts)
+
+
+def to_dot(
+    graph: DataflowGraph,
+    cluster_by: Optional[Callable[[int], object]] = None,
+    include_entry_tokens: bool = True,
+) -> str:
+    """Render ``graph`` as a DOT digraph string.
+
+    ``cluster_by(inst_id)`` groups nodes into subgraph clusters (pass
+    ``placement.pe_of.get`` to box by PE, or the graph's
+    ``thread_of_instruction().get`` to box by thread).
+    """
+    lines = [
+        f'digraph "{graph.name}" {{',
+        "  rankdir=TB;",
+        '  node [shape=box, style=filled, fontname="monospace", '
+        "fontsize=9];",
+    ]
+
+    groups: dict[object, list[int]] = {}
+    for inst in graph.instructions:
+        key = cluster_by(inst.inst_id) if cluster_by else None
+        groups.setdefault(key, []).append(inst.inst_id)
+
+    for key, members in sorted(groups.items(), key=lambda kv: str(kv[0])):
+        indent = "  "
+        if key is not None:
+            lines.append(f'  subgraph "cluster_{key}" {{')
+            lines.append(f'    label="{key}";')
+            indent = "    "
+        for inst_id in members:
+            inst = graph[inst_id]
+            color = CLASS_COLORS.get(inst.opcode.value.opclass, "white")
+            lines.append(
+                f'{indent}i{inst_id} [label="{_label(inst)}", '
+                f'fillcolor="{color}"];'
+            )
+        if key is not None:
+            lines.append("  }")
+
+    for inst in graph.instructions:
+        for dest in inst.dests:
+            lines.append(
+                f"  i{inst.inst_id} -> i{dest.inst} "
+                f'[headlabel="{dest.port}", labelfontsize=7];'
+            )
+        for dest in inst.false_dests:
+            lines.append(
+                f"  i{inst.inst_id} -> i{dest.inst} "
+                f'[style=dashed, headlabel="{dest.port}", '
+                "labelfontsize=7];"
+            )
+
+    if include_entry_tokens:
+        for index, token in enumerate(graph.entry_tokens):
+            lines.append(
+                f'  entry{index} [shape=plaintext, '
+                f'label="t{token.thread}={token.value!r}"];'
+            )
+            lines.append(f"  entry{index} -> i{token.inst};")
+
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,22 @@
+"""Cycle-level simulator of the WaveScalar processor.
+
+Entry point::
+
+    from repro.sim import simulate
+    stats = simulate(graph, config)
+"""
+
+from .engine import Engine, SimulationDeadlock, simulate
+from .trace import Trace, TraceEvent
+from .stats import KINDS, LEVELS, SimStats
+
+__all__ = [
+    "Engine",
+    "Trace",
+    "TraceEvent",
+    "SimulationDeadlock",
+    "simulate",
+    "KINDS",
+    "LEVELS",
+    "SimStats",
+]

@@ -1,0 +1,241 @@
+"""The hierarchical interconnect model.
+
+Implements the four network levels of Section 3.4 as a latency +
+bandwidth model:
+
+* **intra-pod** -- producer and consumer share a bypass network:
+  1 cycle, no contention (dedicated wires).
+* **intra-domain** -- each PE owns a dedicated broadcast result bus:
+  one result per cycle per PE (the PE-side serialisation), 5 cycles of
+  wire/pipeline latency.
+* **intra-cluster** -- through the sending domain's NET pseudo-PE, over
+  the complete point-to-point network, into the receiving domain's NET
+  pseudo-PE, which can inject one operand per cycle into its domain:
+  9 cycles base latency.
+* **inter-cluster** -- dimension-order routed over the 2D mesh of
+  cluster switches; each port moves ``mesh_bandwidth`` operands per
+  cycle per virtual channel direction; latency is 9 + hop count.
+
+Bandwidth is modelled with per-resource reservation ledgers: a message
+reserves the earliest cycle with a free slot on every serialised
+resource on its path, which yields queueing delay under contention
+without simulating individual buffer slots.  The 8-entry output queues
+of the mesh are reflected in a cap on how far ahead reservations may
+run; beyond it the sender stalls (back-pressure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...core.config import WaveScalarConfig
+from ..stats import SimStats
+
+
+class BandwidthLedger:
+    """Tracks slot reservations for a resource serving N ops/cycle."""
+
+    __slots__ = ("per_cycle", "_used", "_floor")
+
+    def __init__(self, per_cycle: int) -> None:
+        self.per_cycle = per_cycle
+        self._used: dict[int, int] = {}
+        self._floor = 0
+
+    def reserve(self, cycle: int) -> int:
+        """Reserve the earliest slot at or after ``cycle``; returns the
+        cycle actually granted."""
+        t = max(cycle, self._floor)
+        used = self._used
+        while used.get(t, 0) >= self.per_cycle:
+            t += 1
+        used[t] = used.get(t, 0) + 1
+        # Opportunistic cleanup: once a cycle saturates below the floor
+        # it can never be queried again.
+        if len(used) > 4096:
+            floor = min(used)
+            for key in [k for k in used if k < floor]:
+                del used[key]
+        return t
+
+    def congestion(self, cycle: int) -> int:
+        """How many cycles a reservation at ``cycle`` would wait."""
+        t = max(cycle, self._floor)
+        while self._used.get(t, 0) >= self.per_cycle:
+            t += 1
+        return t - cycle
+
+
+@dataclass(frozen=True)
+class Route:
+    """The cost of sending one message."""
+
+    level: str
+    latency: int
+    hops: int
+    queue_wait: int
+
+
+class Interconnect:
+    """Latency/bandwidth model of the full hierarchy."""
+
+    def __init__(self, config: WaveScalarConfig, stats: SimStats) -> None:
+        self.config = config
+        self.stats = stats
+        p = config
+        # One result bus per PE (1 result/cycle onto the domain bus).
+        self._pe_bus = [
+            BandwidthLedger(1) for _ in range(p.total_pes)
+        ]
+        # One NET pseudo-PE per domain: 1 operand/cycle injected into
+        # the domain from outside.
+        n_domains = p.clusters * p.domains_per_cluster
+        self._net_in = [
+            BandwidthLedger(p.net_pe_bandwidth) for _ in range(n_domains)
+        ]
+        # Mesh links: per (cluster, direction) with `mesh_bandwidth`
+        # ops/cycle.  Directions: 0=E 1=W 2=N 3=S.
+        self._mesh_links: dict[tuple[int, int], BandwidthLedger] = {}
+
+    # ------------------------------------------------------------------
+    # Topology helpers
+    # ------------------------------------------------------------------
+    def pod_of(self, pe: int) -> int:
+        return pe // 2
+
+    def domain_of(self, pe: int) -> int:
+        return pe // self.config.pes_per_domain
+
+    def cluster_of(self, pe: int) -> int:
+        return pe // self.config.pes_per_cluster
+
+    def level_between(self, src_pe: int, dst_pe: int) -> str:
+        if self.config.pods_enabled and self.pod_of(src_pe) == self.pod_of(
+            dst_pe
+        ):
+            return "pod"
+        if src_pe == dst_pe:
+            return "pod"
+        if self.domain_of(src_pe) == self.domain_of(dst_pe):
+            return "domain"
+        if self.cluster_of(src_pe) == self.cluster_of(dst_pe):
+            return "cluster"
+        return "grid"
+
+    def _mesh_link(self, cluster: int, direction: int) -> BandwidthLedger:
+        key = (cluster, direction)
+        ledger = self._mesh_links.get(key)
+        if ledger is None:
+            ledger = BandwidthLedger(self.config.mesh_bandwidth)
+            self._mesh_links[key] = ledger
+        return ledger
+
+    def _route_mesh(self, src_cluster: int, dst_cluster: int,
+                    cycle: int) -> tuple[int, int, int]:
+        """Dimension-order (X then Y) routing; returns (ready_cycle,
+        hops, queue_wait)."""
+        cfg = self.config
+        x0, y0 = cfg.cluster_xy(src_cluster)
+        x1, y1 = cfg.cluster_xy(dst_cluster)
+        cols, _ = cfg.grid_shape
+        t = cycle
+        wait = 0
+        hops = 0
+        cx, cy = x0, y0
+        while cx != x1:
+            direction = 0 if x1 > cx else 1
+            cluster = cy * cols + cx
+            granted = self._mesh_link(cluster, direction).reserve(t)
+            wait += granted - t
+            t = granted + 1  # one cycle per hop
+            cx += 1 if x1 > cx else -1
+            hops += 1
+        while cy != y1:
+            direction = 3 if y1 > cy else 2
+            cluster = cy * cols + cx
+            granted = self._mesh_link(cluster, direction).reserve(t)
+            wait += granted - t
+            t = granted + 1
+            cy += 1 if y1 > cy else -1
+            hops += 1
+        return t, hops, wait
+
+    # ------------------------------------------------------------------
+    # The main entry point
+    # ------------------------------------------------------------------
+    def route(
+        self, src_pe: int, dst_pe: int, cycle: int, kind: str
+    ) -> Route:
+        """Reserve the path for one message leaving ``src_pe`` at
+        ``cycle``; returns level/latency/hops.
+
+        The caller delivers the message at ``cycle + route.latency``.
+        """
+        cfg = self.config
+        level = self.level_between(src_pe, dst_pe)
+
+        if level == "pod":
+            route = Route("pod", cfg.pod_latency, 0, 0)
+            self.stats.record_message(kind, "pod", route.latency)
+            return route
+
+        # All other levels leave the PE on its result bus.
+        bus_granted = self._pe_bus[src_pe].reserve(cycle)
+        wait = bus_granted - cycle
+
+        if level == "domain":
+            latency = wait + cfg.domain_latency
+            self.stats.record_message(kind, "domain", latency)
+            return Route("domain", latency, 0, wait)
+
+        if level == "cluster":
+            # Through sender's NET pseudo-PE, point-to-point link, into
+            # the receiver domain's NET pseudo-PE (1 op/cycle inject).
+            inject = self._net_in[self.domain_of(dst_pe)].reserve(
+                bus_granted + cfg.cluster_latency - 1
+            )
+            latency = inject + 1 - cycle
+            self.stats.record_message(kind, "cluster", latency)
+            return Route("cluster", latency, 0, wait)
+
+        # Inter-cluster: bus, NET, mesh, NET, domain inject.
+        src_cluster = self.cluster_of(src_pe)
+        return self._route_grid(src_pe, dst_pe, src_cluster, cycle,
+                                bus_granted, kind)
+
+    def _route_grid(self, src_pe: int, dst_pe: int, src_cluster: int,
+                    cycle: int, bus_granted: int, kind: str) -> Route:
+        cfg = self.config
+        bus_wait = bus_granted - cycle
+        dst_cluster = self.cluster_of(dst_pe)
+        mesh_entry = bus_granted + 4  # reach the cluster switch
+        mesh_exit, hops, mesh_wait = self._route_mesh(
+            src_cluster, dst_cluster, mesh_entry
+        )
+        inject = self._net_in[self.domain_of(dst_pe)].reserve(
+            mesh_exit + cfg.intercluster_base - 5
+        )
+        latency = inject + 1 - cycle
+        self.stats.record_message(kind, "grid", latency, hops)
+        self.stats.mesh_queue_wait_sum += mesh_wait
+        self.stats.mesh_messages += 1
+        return Route("grid", latency, hops, bus_wait + mesh_wait)
+
+    # ------------------------------------------------------------------
+    # Cluster-to-cluster memory/coherence messages (store buffer and L1
+    # traffic use the switch port dedicated to them -- Section 3.4.3).
+    # ------------------------------------------------------------------
+    def route_clusters(self, src: int, dst: int, cycle: int) -> int:
+        """Latency of one memory-system message between two clusters,
+        including mesh queueing.  Recorded as memory traffic."""
+        cfg = self.config
+        if src == dst:
+            self.stats.record_message("memory", "cluster", 1)
+            return 1
+        mesh_entry = cycle + 4
+        mesh_exit, hops, mesh_wait = self._route_mesh(src, dst, mesh_entry)
+        latency = (mesh_exit - cycle) + (cfg.intercluster_base - 5)
+        self.stats.record_message("memory", "grid", latency, hops)
+        self.stats.mesh_queue_wait_sum += mesh_wait
+        self.stats.mesh_messages += 1
+        return latency

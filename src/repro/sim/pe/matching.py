@@ -1,0 +1,202 @@
+"""The matching table: a specialised operand cache (Section 3.2).
+
+The matching table is the heart -- and 60% of the area -- of a
+WaveScalar PE.  It emulates a conceptually infinite token store with a
+small physical structure:
+
+* ``M`` rows, set-associative (2-way in the paper's chosen design),
+  three operand columns per row (the third column holds only the 1-bit
+  predicate operands of STEER/MERGE).
+* Rows are indexed by the tuned hash ``I*k + (w mod k)`` where ``I`` is
+  the instruction's slot in this PE's instruction store and ``w`` the
+  token's wave (Section 4.2's *matching table equation* machinery).
+* Four banks accept up to four incoming operands per cycle; bank
+  conflicts force retries (the INPUT stage "reject" of Section 3.2).
+* When no way is free for an incoming token, the LRU victim row is
+  evicted to the in-memory overflow table and its tokens return after a
+  memory round trip -- a *matching-table miss*.
+
+The tracker board (which operands are present per row) is the ``ports``
+dict of each row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ...isa.token import Value
+
+
+@dataclass(slots=True)
+class MatchRow:
+    """One occupied matching-table row (tracker-board entry + operands)."""
+
+    key: tuple[int, int, int]  # (thread, wave, inst)
+    ports: dict[int, Value] = field(default_factory=dict)
+    last_use: int = 0
+
+
+@dataclass(slots=True)
+class InsertResult:
+    """Outcome of offering one token to the table."""
+
+    accepted: bool  # False => bank conflict, retry next cycle
+    fired: Optional[MatchRow] = None  # completed row, removed from table
+    evicted: Optional[MatchRow] = None  # victim row sent to overflow
+    miss: bool = False  # an eviction/deflection happened (table miss)
+    #: The incoming token itself goes to the overflow table (it is
+    #: younger than every resident row in its set -- oldest-wave
+    #: priority guarantees forward progress under thrashing).
+    deflected: bool = False
+
+
+class MatchingTable:
+    """Banked, set-associative operand cache for one PE."""
+
+    def __init__(
+        self,
+        entries: int,
+        associativity: int,
+        banks: int,
+        hash_k: int,
+    ) -> None:
+        if entries % associativity:
+            raise ValueError("entries must be a multiple of associativity")
+        self.entries = entries
+        self.associativity = associativity
+        self.banks = banks
+        self.hash_k = max(1, hash_k)
+        self.sets = max(1, entries // associativity)
+        self._rows: dict[tuple[int, int, int], MatchRow] = {}
+        self._by_set: dict[int, list[MatchRow]] = {}
+        self._bank_cycle = -1
+        self._bank_used: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def occupancy(self) -> float:
+        return len(self._rows) / self.entries if self.entries else 0.0
+
+    def set_index(self, slot: int, wave: int) -> int:
+        """The tuned hash of Section 4.2: ``I*k + (w mod k)``.
+
+        The table is organised as ``sets/k`` instruction groups of
+        ``k`` wave slots; the instruction picks the group, the wave
+        picks the slot within it.  (Naively taking ``(I*k + w%k) mod
+        sets`` would alias every instruction onto ``gcd(k, sets)``
+        sets when the table is small.)  Tables smaller than one group
+        fall back to a plain mixed hash.
+        """
+        k = self.hash_k
+        groups = self.sets // k
+        if groups >= 1:
+            return (slot % groups) * k + (wave % k)
+        return (slot + wave) % self.sets
+
+    def lookup(self, key: tuple[int, int, int]) -> Optional[MatchRow]:
+        return self._rows.get(key)
+
+    # ------------------------------------------------------------------
+    def insert(
+        self,
+        key: tuple[int, int, int],
+        port: int,
+        value: Value,
+        slot: int,
+        arity: int,
+        cycle: int,
+    ) -> InsertResult:
+        """Offer one operand to the table at ``cycle``.
+
+        Enforces the 4-arrivals-per-cycle bank limit; on success either
+        records the operand, completes the row (``fired``), or evicts a
+        victim to the overflow table (``miss``).
+        """
+        set_idx = self.set_index(slot, key[1])
+        if not self._claim_bank(set_idx, cycle):
+            return InsertResult(accepted=False)
+
+        row = self._rows.get(key)
+        if row is not None:
+            row.ports[port] = value
+            row.last_use = cycle
+            if len(row.ports) >= arity:
+                self._remove(row, set_idx)
+                return InsertResult(accepted=True, fired=row)
+            return InsertResult(accepted=True)
+
+        ways = self._by_set.setdefault(set_idx, [])
+        evicted = None
+        miss = False
+        if len(ways) >= self.associativity:
+            # Oldest-first priority under thrashing: rank instances by
+            # the total order (wave, thread, instruction); evict the
+            # youngest resident row, or deflect the incoming token to
+            # the overflow table if it is itself the youngest.  Because
+            # the order is total, the globally oldest pending instance
+            # always keeps its row, its partner operands join it on
+            # arrival (lookup precedes allocation), and it eventually
+            # fires -- guaranteeing forward progress however small the
+            # table.
+            def priority(k: tuple[int, int, int]) -> tuple[int, int, int]:
+                return (k[1], k[0], k[2])
+
+            victim = max(ways, key=lambda r: priority(r.key))
+            if priority(key) >= priority(victim.key):
+                return InsertResult(accepted=True, miss=True,
+                                    deflected=True)
+            evicted = victim
+            self._remove(evicted, set_idx)
+            miss = True
+        row = MatchRow(key=key, ports={port: value}, last_use=cycle)
+        self._rows[key] = row
+        ways = self._by_set.setdefault(set_idx, [])
+        ways.append(row)
+        if len(row.ports) >= arity:  # single-operand instruction
+            self._remove(row, set_idx)
+            return InsertResult(
+                accepted=True, fired=row, evicted=evicted, miss=miss
+            )
+        return InsertResult(accepted=True, evicted=evicted, miss=miss)
+
+    def has_free_way(self, slot: int, wave: int) -> bool:
+        """Whether a token hashing to (slot, wave) could be accepted
+        without an eviction (used to pace overflow returns)."""
+        set_idx = self.set_index(slot, wave)
+        return len(self._by_set.get(set_idx, ())) < self.associativity
+
+    def drop(self, key: tuple[int, int, int]) -> Optional[MatchRow]:
+        """Remove and return a row (used when a PE migrates state)."""
+        row = self._rows.get(key)
+        if row is None:
+            return None
+        set_idx = None
+        for idx, ways in self._by_set.items():
+            if row in ways:
+                set_idx = idx
+                break
+        assert set_idx is not None
+        self._remove(row, set_idx)
+        return row
+
+    def pending_rows(self) -> list[MatchRow]:
+        """All partially filled rows (deadlock diagnostics)."""
+        return list(self._rows.values())
+
+    # ------------------------------------------------------------------
+    def _claim_bank(self, set_idx: int, cycle: int) -> bool:
+        if cycle != self._bank_cycle:
+            self._bank_cycle = cycle
+            self._bank_used = {}
+        bank = set_idx % self.banks
+        if self._bank_used.get(bank, 0) >= 1:
+            return False
+        self._bank_used[bank] = 1
+        return True
+
+    def _remove(self, row: MatchRow, set_idx: int) -> None:
+        del self._rows[row.key]
+        self._by_set[set_idx].remove(row)

@@ -1,0 +1,1 @@
+"""Subpackage of the cycle-level simulator; see repro.sim."""

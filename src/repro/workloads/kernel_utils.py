@@ -1,0 +1,107 @@
+"""Shared construction patterns for workload kernels."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..lang.builder import GraphBuilder, Node
+
+
+def reduce_tree(
+    b: GraphBuilder, nodes: Sequence[Node], op: Callable[[Node, Node], Node]
+) -> Node:
+    """Combine ``nodes`` pairwise with ``op`` (balanced tree).
+
+    Used by Splash2 masters to join per-thread partial results with
+    log-depth rather than a serial chain.
+    """
+    if not nodes:
+        raise ValueError("nothing to reduce")
+    level = list(nodes)
+    while len(level) > 1:
+        nxt = []
+        for i in range(0, len(level) - 1, 2):
+            nxt.append(op(level[i], level[i + 1]))
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    return level[0]
+
+
+def reduce_values(values: Sequence, op: Callable) -> object:
+    """Pure-Python mirror of :func:`reduce_tree`'s combination order.
+
+    Reference implementations of multithreaded kernels must combine
+    per-thread results in exactly this order so floating-point results
+    match the simulator bit-for-bit.
+    """
+    if not values:
+        raise ValueError("nothing to reduce")
+    level = list(values)
+    while len(level) > 1:
+        nxt = []
+        for i in range(0, len(level) - 1, 2):
+            nxt.append(op(level[i], level[i + 1]))
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    return level[0]
+
+
+def spawn_workers(
+    b: GraphBuilder,
+    trigger: Node,
+    n_threads: int,
+    worker: Callable[[int, Node], Node],
+) -> list[Node]:
+    """Spawn ``n_threads`` worker threads and return their master-side
+    results.
+
+    ``worker(thread_index, seed_node)`` builds one thread's body (the
+    builder is already switched into the thread) and returns the
+    thread's result node.  Threads get ids 1..n (0 is the master).
+    """
+    results = []
+    for t in range(n_threads):
+        (seed,) = b.spawn_thread(t + 1, [b.const(t, trigger)])
+        result = worker(t, seed)
+        results.append(b.end_thread(result))
+    return results
+
+
+def fixed_loop(
+    b: GraphBuilder,
+    trigger: Node,
+    n: int,
+    body: Callable[..., list[Node]],
+    carried_init: Sequence[Node],
+    invariant_init: Sequence[Node] = (),
+    k: int | None = None,
+    label: str = "loop",
+) -> list[Node]:
+    """A counted loop ``for i in range(n)``.
+
+    ``body(i, *carried, *invariants)`` returns the next carried values.
+    Returns the exit values of the carried state (the counter is
+    managed internally and not exposed at exit).
+    """
+    lp = b.loop(
+        [b.const(0, trigger), *carried_init],
+        invariants=[b.const(n, trigger), *invariant_init],
+        k=k,
+        label=label,
+    )
+    i = lp.state[0]
+    carried = lp.state[1:]
+    limit = lp.invariants[0]
+    invariants = lp.invariants[1:]
+    next_carried = body(i, *carried, *invariants)
+    if len(next_carried) != len(carried):
+        raise ValueError(
+            f"{label}: body returned {len(next_carried)} values for "
+            f"{len(carried)} carried"
+        )
+    i2 = b.add(i, b.const(1, i))
+    lp.next_iteration(b.lt(i2, limit), [i2, *next_carried])
+    exits = lp.end()
+    return exits[1 : 1 + len(carried)]

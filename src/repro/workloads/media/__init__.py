@@ -1,0 +1,1 @@
+"""Workload kernels; see repro.workloads.registry."""

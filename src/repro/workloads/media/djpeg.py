@@ -1,0 +1,73 @@
+"""``djpeg`` stand-in: block inverse transform with saturation.
+
+JPEG decoding is dominated by 8-point IDCTs over coefficient blocks
+followed by range clamping.  This kernel applies an unrolled 8-tap
+integer transform to each block and stores the clamped samples --
+dense integer multiply-accumulate with MIN/MAX saturation, the
+block-structured media-decode profile.
+"""
+
+from __future__ import annotations
+
+from ...isa.graph import DataflowGraph
+from ...lang.builder import GraphBuilder
+from ..base import Scale, scaled
+from ..data import int_array
+
+BASE_BLOCKS = 12
+BLOCK = 8
+#: Fixed integer basis (scaled cosine-ish weights).
+BASIS = [64, 59, 45, 24, -24, -45, -59, -64]
+
+
+def _input(seed: int, scale: Scale) -> tuple[list[int], int]:
+    blocks = scaled(BASE_BLOCKS, scale)
+    return int_array(seed, "djpeg", blocks * BLOCK, -128, 128), blocks
+
+
+def build(scale: Scale = Scale.SMALL, k: int | None = 4,
+          seed: int = 0) -> DataflowGraph:
+    coeffs, blocks = _input(seed, scale)
+    b = GraphBuilder("djpeg")
+    c_b = b.data("coeffs", coeffs)
+    o_b = b.alloc("pixels", blocks)
+    t = b.entry(0)
+
+    lp = b.loop(
+        [b.const(0, t), b.const(0, t)],  # block, checksum
+        invariants=[b.const(blocks, t), b.const(c_b, t), b.const(o_b, t)],
+        k=k,
+        label="blocks",
+    )
+    blk, checksum = lp.state
+    limit, c_base, o_base = lp.invariants
+
+    start = b.mul(blk, b.const(BLOCK, blk))
+    acc = b.const(0, blk)
+    for tap in range(BLOCK):
+        coeff = b.load(b.add(c_base, b.add(start, b.const(tap, start))))
+        acc = b.add(acc, b.mul(coeff, b.const(BASIS[tap], coeff)))
+    # Descale and saturate to 0..255.
+    sample = b.sar(acc, b.const(6, acc))
+    clamped = b.max_(b.min_(sample, b.const(255, sample)),
+                     b.const(0, sample))
+    b.store(b.add(o_base, blk), clamped)
+    checksum2 = b.add(checksum, clamped)
+
+    blk2 = b.add(blk, b.const(1, blk))
+    lp.next_iteration(b.lt(blk2, limit), [blk2, checksum2])
+    exits = lp.end()
+    b.output(exits[1], label="checksum")
+    return b.finalize()
+
+
+def reference(scale: Scale = Scale.SMALL, seed: int = 0) -> list:
+    coeffs, blocks = _input(seed, scale)
+    checksum = 0
+    for blk in range(blocks):
+        acc = 0
+        for tap in range(BLOCK):
+            acc += coeffs[blk * BLOCK + tap] * BASIS[tap]
+        sample = acc >> 6
+        checksum += max(0, min(255, sample))
+    return [checksum]

@@ -1,0 +1,80 @@
+"""``mpeg2encode`` stand-in: motion-estimation SAD search.
+
+MPEG-2 encoding spends most of its time computing sums of absolute
+differences between a current block and candidate reference blocks,
+keeping the best match.  This kernel scans candidate offsets (outer
+loop), computes an unrolled 16-sample SAD per candidate, and tracks
+the minimum with conditionals -- the branchy integer-absolute-value
+profile of video encoding.
+"""
+
+from __future__ import annotations
+
+from ...isa.graph import DataflowGraph
+from ...lang.builder import GraphBuilder
+from ..base import Scale, scaled
+from ..data import int_array
+
+BASE_CANDIDATES = 16
+BLOCK = 16
+
+
+def _inputs(seed: int, scale: Scale) -> tuple[list[int], list[int], int]:
+    candidates = scaled(BASE_CANDIDATES, scale)
+    ref = int_array(seed, "mpeg.ref", candidates + BLOCK, 0, 256)
+    cur = int_array(seed, "mpeg.cur", BLOCK, 0, 256)
+    return ref, cur, candidates
+
+
+def build(scale: Scale = Scale.SMALL, k: int | None = 4,
+          seed: int = 0) -> DataflowGraph:
+    ref, cur, candidates = _inputs(seed, scale)
+    b = GraphBuilder("mpeg2encode")
+    ref_b = b.data("ref", ref)
+    cur_b = b.data("cur", cur)
+    t = b.entry(0)
+
+    lp = b.loop(
+        [
+            b.const(0, t),        # candidate offset
+            b.const(1 << 30, t),  # best SAD
+            b.const(-1, t),       # best offset
+        ],
+        invariants=[b.const(candidates, t), b.const(ref_b, t),
+                    b.const(cur_b, t)],
+        k=k,
+        label="search",
+    )
+    off, best, best_off = lp.state
+    limit, ref_base, cur_base = lp.invariants
+
+    sad = b.const(0, off)
+    for s in range(BLOCK):
+        rv = b.load(b.add(ref_base, b.add(off, b.const(s, off))))
+        cv = b.load(b.add(cur_base, b.const(s, off)))
+        sad = b.add(sad, b.abs_(b.sub(rv, cv)))
+
+    improves = b.lt(sad, best)
+    br = b.if_else(improves, [sad, off, best, best_off])
+    t_sad, t_off, _, _ = br.then_values()
+    br.then_result([t_sad, t_off])
+    _, _, f_best, f_best_off = br.else_values()
+    br.else_result([f_best, f_best_off])
+    best2, best_off2 = br.end()
+
+    off2 = b.add(off, b.const(1, off))
+    lp.next_iteration(b.lt(off2, limit), [off2, best2, best_off2])
+    exits = lp.end()
+    b.output(exits[2], label="best_offset")
+    b.output(exits[1], label="best_sad")
+    return b.finalize()
+
+
+def reference(scale: Scale = Scale.SMALL, seed: int = 0) -> list:
+    ref, cur, candidates = _inputs(seed, scale)
+    best, best_off = 1 << 30, -1
+    for off in range(candidates):
+        sad = sum(abs(ref[off + s] - cur[s]) for s in range(BLOCK))
+        if sad < best:
+            best, best_off = sad, off
+    return [best_off, best]

@@ -1,0 +1,86 @@
+"""``rawdaudio`` stand-in: ADPCM audio decoding.
+
+ADPCM decode is a tight serial recurrence: each sample's predictor and
+step-size depend on the previous sample's, with table lookups and
+clamping.  Almost no instruction-level or loop-level parallelism --
+the serial tail of the Mediabench suite (and, in the paper's Table 4,
+the workload with the smallest useful virtualization ratio).
+"""
+
+from __future__ import annotations
+
+from ...isa.graph import DataflowGraph
+from ...lang.builder import GraphBuilder
+from ..base import Scale, scaled
+from ..data import int_array
+
+BASE_N = 128
+#: Abbreviated IMA step table (every 8th entry).
+STEP_TABLE = [7, 16, 34, 73, 157, 337, 724, 1552]
+N_STEPS = len(STEP_TABLE)
+#: Index adjustment per 2-bit code.
+INDEX_TABLE = [-1, -1, 1, 2]
+
+
+def _input(seed: int, scale: Scale) -> list[int]:
+    return int_array(seed, "adpcm", scaled(BASE_N, scale), 0, 4)
+
+
+def build(scale: Scale = Scale.SMALL, k: int | None = 1,
+          seed: int = 0) -> DataflowGraph:
+    codes = _input(seed, scale)
+    n = len(codes)
+    b = GraphBuilder("rawdaudio")
+    code_b = b.data("codes", codes)
+    step_b = b.data("steps", STEP_TABLE)
+    idx_b = b.data("idxadj", INDEX_TABLE)
+    t = b.entry(0)
+
+    lp = b.loop(
+        [
+            b.const(0, t),  # i
+            b.const(0, t),  # predictor
+            b.const(0, t),  # step index
+            b.const(0, t),  # checksum
+        ],
+        invariants=[b.const(n, t), b.const(code_b, t), b.const(step_b, t),
+                    b.const(idx_b, t)],
+        k=k,
+        label="decode",
+    )
+    i, pred, stepi, checksum = lp.state
+    limit, code_base, step_base, idx_base = lp.invariants
+
+    code = b.load(b.add(code_base, i))
+    step = b.load(b.add(step_base, stepi))
+    # delta = step * (code - 1.5) approximated in integer form.
+    delta = b.sar(b.mul(step, b.sub(b.mul(code, b.const(2, code)),
+                                    b.const(3, code))),
+                  b.const(1, code))
+    pred2 = b.add(pred, delta)
+    clamped = b.max_(b.min_(pred2, b.const(32767, pred2)),
+                     b.const(-32768, pred2))
+    adj = b.load(b.add(idx_base, code))
+    stepi_raw = b.add(stepi, adj)
+    stepi2 = b.max_(b.min_(stepi_raw, b.const(N_STEPS - 1, stepi_raw)),
+                    b.const(0, stepi_raw))
+    checksum2 = b.xor(checksum, clamped)
+
+    i2 = b.add(i, b.const(1, i))
+    lp.next_iteration(b.lt(i2, limit), [i2, clamped, stepi2, checksum2])
+    exits = lp.end()
+    b.output(exits[1], label="last_sample")
+    b.output(exits[3], label="checksum")
+    return b.finalize()
+
+
+def reference(scale: Scale = Scale.SMALL, seed: int = 0) -> list:
+    codes = _input(seed, scale)
+    pred, stepi, checksum = 0, 0, 0
+    for code in codes:
+        step = STEP_TABLE[stepi]
+        delta = (step * (2 * code - 3)) >> 1
+        pred = max(-32768, min(32767, pred + delta))
+        stepi = max(0, min(N_STEPS - 1, stepi + INDEX_TABLE[code]))
+        checksum ^= pred
+    return [pred, checksum]

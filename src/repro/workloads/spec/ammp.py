@@ -1,0 +1,77 @@
+"""``ammp`` stand-in: molecular-mechanics force accumulation.
+
+The original computes non-bonded forces over neighbour lists in double
+precision.  This kernel accumulates an inverse-square interaction of
+every particle against a probe site and integrates positions back to
+memory -- a floating-point multiply/divide pipeline with a load and a
+store per iteration, the FPU-bound profile of SpecFP.
+"""
+
+from __future__ import annotations
+
+from ...isa.graph import DataflowGraph
+from ...lang.builder import GraphBuilder
+from ..base import Scale, scaled
+from ..data import float_array
+
+BASE_N = 64
+#: Words per particle record.
+STRIDE = 8
+#: Force sweeps; the second pass reads the positions the first wrote.
+PASSES = 2
+EPS = 0.01
+PROBE = 0.125
+DT = 0.0625
+
+
+def _input(seed: int, scale: Scale) -> list[float]:
+    return float_array(seed, "ammp", scaled(BASE_N, scale), -2.0, 2.0)
+
+
+def build(scale: Scale = Scale.SMALL, k: int | None = 4,
+          seed: int = 0) -> DataflowGraph:
+    xs = _input(seed, scale)
+    n = len(xs)
+    b = GraphBuilder("ammp")
+    x_b = b.data("x", xs, stride=STRIDE)
+    t = b.entry(0)
+
+    lp = b.loop(
+        [b.const(0, t), b.const(0.0, t)],  # i, energy
+        invariants=[b.const(PASSES * n, t), b.const(n, t),
+                    b.const(x_b, t)],
+        k=k,
+        label="forces",
+    )
+    cnt, energy = lp.state
+    limit, n_c, base = lp.invariants
+
+    i = b.mul(b.mod(cnt, n_c), b.const(STRIDE, cnt))
+    x = b.load(b.add(base, i))
+    dx = b.fsub(x, b.const(PROBE, x))
+    d2 = b.fadd(b.fmul(dx, dx), b.const(EPS, dx))
+    f = b.fdiv(b.const(1.0, d2), d2)
+    energy2 = b.fadd(energy, f)
+    # Integrate: x' = x - dt * f * dx (written back for the next sweep).
+    b.store(b.add(base, i),
+            b.fsub(x, b.fmul(b.const(DT, f), b.fmul(f, dx))))
+
+    cnt2 = b.add(cnt, b.const(1, cnt))
+    lp.next_iteration(b.lt(cnt2, limit), [cnt2, energy2])
+    exits = lp.end()
+    b.output(exits[1], label="energy")
+    return b.finalize()
+
+
+def reference(scale: Scale = Scale.SMALL, seed: int = 0) -> list:
+    xs = list(_input(seed, scale))
+    energy = 0.0
+    for cnt in range(PASSES * len(xs)):
+        i = cnt % len(xs)
+        x = xs[i]
+        dx = x - PROBE
+        d2 = dx * dx + EPS
+        f = 1.0 / d2
+        energy = energy + f
+        xs[i] = x - DT * (f * dx)
+    return [energy]

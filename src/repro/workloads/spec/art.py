@@ -1,0 +1,83 @@
+"""``art`` stand-in: neural-layer evaluation with winner-take-all.
+
+The original (Adaptive Resonance Theory image recognition) is
+dominated by dense weight-matrix by input-vector products followed by
+a winner-take-all scan.  This kernel evaluates W.x one neuron per
+outer iteration (inner product unrolled over a fixed-width input
+vector) and tracks the maximum response and its index with
+conditionals -- dense FP multiply-accumulate plus a reduction, the
+classic SpecFP/art profile.
+"""
+
+from __future__ import annotations
+
+from ...isa.graph import DataflowGraph
+from ...lang.builder import GraphBuilder
+from ..base import Scale, scaled
+from ..data import float_array
+
+BASE_NEURONS = 24
+WIDTH = 8  # input-vector width (inner product is unrolled)
+
+
+def _inputs(seed: int, scale: Scale) -> tuple[list[float], list[float], int]:
+    neurons = scaled(BASE_NEURONS, scale)
+    weights = float_array(seed, "art.w", neurons * WIDTH)
+    x = float_array(seed, "art.x", WIDTH)
+    return weights, x, neurons
+
+
+def build(scale: Scale = Scale.SMALL, k: int | None = 4,
+          seed: int = 0) -> DataflowGraph:
+    weights, x, neurons = _inputs(seed, scale)
+    b = GraphBuilder("art")
+    w_b = b.data("w", weights)
+    x_b = b.data("x", x)
+    t = b.entry(0)
+
+    lp = b.loop(
+        [
+            b.const(0, t),        # neuron index
+            b.const(-1.0e9, t),   # best response
+            b.const(-1, t),       # best index
+        ],
+        invariants=[b.const(neurons, t), b.const(w_b, t), b.const(x_b, t)],
+        k=k,
+        label="neurons",
+    )
+    j, best, best_j = lp.state
+    limit, w_base, x_base = lp.invariants
+
+    row = b.mul(j, b.const(WIDTH, j))
+    acc = b.const(0.0, j)
+    for col in range(WIDTH):
+        w = b.load(b.add(w_base, b.add(row, b.const(col, row))))
+        xv = b.load(b.add(x_base, b.const(col, row)))
+        acc = b.fadd(acc, b.fmul(w, xv))
+
+    wins = b.flt(best, acc)
+    br = b.if_else(wins, [acc, j, best, best_j])
+    t_acc, t_j, _, _ = br.then_values()
+    br.then_result([t_acc, t_j])
+    _, _, f_best, f_best_j = br.else_values()
+    br.else_result([f_best, f_best_j])
+    best2, best_j2 = br.end()
+
+    j2 = b.add(j, b.const(1, j))
+    lp.next_iteration(b.lt(j2, limit), [j2, best2, best_j2])
+    exits = lp.end()
+    b.output(exits[2], label="winner")
+    b.output(exits[1], label="response")
+    return b.finalize()
+
+
+def reference(scale: Scale = Scale.SMALL, seed: int = 0) -> list:
+    weights, x, neurons = _inputs(seed, scale)
+    best, best_j = -1.0e9, -1
+    for j in range(neurons):
+        acc = 0.0
+        for col in range(WIDTH):
+            acc = acc + weights[j * WIDTH + col] * x[col]
+        if best < acc:
+            best, best_j = acc, j
+    return [best_j, best]

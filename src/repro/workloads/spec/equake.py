@@ -1,0 +1,81 @@
+"""``equake`` stand-in: sparse matrix-vector product.
+
+The original's hot loop is an unstructured sparse matvec over the
+finite-element stiffness matrix.  This kernel computes y = A.x for a
+CSR matrix with a fixed number of nonzeros per row: indirect loads
+(column indices), FP multiply-accumulate, and a store per row --
+irregular memory plus FP, the SpecFP/equake profile.
+"""
+
+from __future__ import annotations
+
+from ...isa.graph import DataflowGraph
+from ...lang.builder import GraphBuilder
+from ..base import Scale, scaled
+from ..data import float_array, sparse_rows
+
+BASE_ROWS = 24
+COLS = 64
+PER_ROW = 4  # nonzeros per row (unrolled inner product)
+
+
+def _inputs(seed: int, scale: Scale):
+    rows = scaled(BASE_ROWS, scale)
+    _, col_index, values = sparse_rows(seed, "equake.A", rows, COLS, PER_ROW)
+    x = float_array(seed, "equake.x", COLS)
+    return col_index, values, x, rows
+
+
+def build(scale: Scale = Scale.SMALL, k: int | None = 4,
+          seed: int = 0) -> DataflowGraph:
+    col_index, values, x, rows = _inputs(seed, scale)
+    b = GraphBuilder("equake")
+    col_b = b.data("cols", col_index)
+    val_b = b.data("vals", values)
+    x_b = b.data("x", x)
+    y_b = b.alloc("y", rows)
+    t = b.entry(0)
+
+    lp = b.loop(
+        [b.const(0, t), b.const(0.0, t)],  # row, checksum
+        invariants=[
+            b.const(rows, t),
+            b.const(col_b, t),
+            b.const(val_b, t),
+            b.const(x_b, t),
+            b.const(y_b, t),
+        ],
+        k=k,
+        label="rows",
+    )
+    r, checksum = lp.state
+    limit, col_base, val_base, x_base, y_base = lp.invariants
+
+    start = b.mul(r, b.const(PER_ROW, r))
+    acc = b.const(0.0, r)
+    for e in range(PER_ROW):
+        idx = b.add(start, b.const(e, start))
+        col = b.load(b.add(col_base, idx))
+        val = b.load(b.add(val_base, idx))
+        xv = b.load(b.add(x_base, col))
+        acc = b.fadd(acc, b.fmul(val, xv))
+    b.store(b.add(y_base, r), acc)
+    checksum2 = b.fadd(checksum, acc)
+
+    r2 = b.add(r, b.const(1, r))
+    lp.next_iteration(b.lt(r2, limit), [r2, checksum2])
+    exits = lp.end()
+    b.output(exits[1], label="checksum")
+    return b.finalize()
+
+
+def reference(scale: Scale = Scale.SMALL, seed: int = 0) -> list:
+    col_index, values, x, rows = _inputs(seed, scale)
+    checksum = 0.0
+    for r in range(rows):
+        acc = 0.0
+        for e in range(PER_ROW):
+            idx = r * PER_ROW + e
+            acc = acc + values[idx] * x[col_index[idx]]
+        checksum = checksum + acc
+    return [checksum]

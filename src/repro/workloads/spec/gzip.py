@@ -1,0 +1,86 @@
+"""``gzip`` stand-in: run-length compression.
+
+Shape preserved from the original: byte-granular integer work, a
+data-dependent branch per element (match vs. new run), and stores on
+the mispredicted-ish path -- the control-heavy, low-ILP profile of
+SpecInt compression.  Exercises conditional memory operations (stores
+inside one if_else arm), which stress the wave-ordering fork/join
+annotations.
+"""
+
+from __future__ import annotations
+
+from ...isa.graph import DataflowGraph
+from ...lang.builder import GraphBuilder
+from ..base import Scale, scaled
+from ..data import int_array
+
+BASE_N = 96
+
+
+def _input(seed: int, scale: Scale) -> list[int]:
+    n = scaled(BASE_N, scale)
+    # Small alphabet so runs actually occur.
+    return int_array(seed, "gzip", n, 0, 4)
+
+
+def build(scale: Scale = Scale.SMALL, k: int | None = 4,
+          seed: int = 0) -> DataflowGraph:
+    data = _input(seed, scale)
+    n = len(data)
+    b = GraphBuilder("gzip")
+    src = b.data("src", data)
+    out = b.alloc("runs", n)
+    t = b.entry(0)
+
+    lp = b.loop(
+        [
+            b.const(1, t),      # i
+            b.const(data[0], t),  # prev value
+            b.const(1, t),      # current run length
+            b.const(0, t),      # runs emitted
+        ],
+        invariants=[b.const(n, t), b.const(src, t), b.const(out, t)],
+        k=k,
+        label="rle",
+    )
+    i, prev, run, nruns = lp.state
+    limit, src_b, out_b = lp.invariants
+
+    cur = b.load(b.add(src_b, i))
+    same = b.eq(cur, prev)
+    br = b.if_else(same, [run, nruns, cur, out_b])
+    t_run, t_nruns, t_cur, _ = br.then_values()
+    br.then_result([b.add(t_run, b.const(1, t_run)), t_nruns, t_cur])
+    f_run, f_nruns, f_cur, f_out = br.else_values()
+    b.store(b.add(f_out, f_nruns), f_run)
+    br.else_result([
+        b.const(1, f_run),
+        b.add(f_nruns, b.const(1, f_nruns)),
+        f_cur,
+    ])
+    run2, nruns2, cur2 = br.end()
+
+    i2 = b.add(i, b.const(1, i))
+    lp.next_iteration(b.lt(i2, limit), [i2, cur2, run2, nruns2])
+    exits = lp.end()
+    # Flush the final run, then report the run count and last length.
+    _, _, run_f, nruns_f = exits[:4]
+    out_f = exits[6]
+    b.store(b.add(out_f, nruns_f), run_f)
+    b.output(b.add(nruns_f, b.const(1, nruns_f)), label="n_runs")
+    b.output(b.nop(run_f), label="last_run")
+    return b.finalize()
+
+
+def reference(scale: Scale = Scale.SMALL, seed: int = 0) -> list:
+    data = _input(seed, scale)
+    prev, run, nruns = data[0], 1, 0
+    for cur in data[1:]:
+        if cur == prev:
+            run += 1
+        else:
+            nruns += 1
+            run = 1
+            prev = cur
+    return [nruns + 1, run]

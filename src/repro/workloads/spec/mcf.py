@@ -1,0 +1,82 @@
+"""``mcf`` stand-in: pointer-chasing over an in-memory graph.
+
+The original network-simplex code is dominated by dependent loads over
+pointer-linked arcs with almost no ILP; this kernel walks a random
+Hamiltonian cycle through a ``next[]`` array, accumulating per-node
+costs with a data-dependent rebalancing branch.  Memory latency bound,
+serial dependence chain -- the lowest-AIPC profile in the suite.
+"""
+
+from __future__ import annotations
+
+from ...isa.graph import DataflowGraph
+from ...lang.builder import GraphBuilder
+from ..base import Scale, scaled
+from ..data import int_array, linked_list_order
+
+BASE_N = 72
+THRESHOLD = 4000
+#: Words per node record: pointer-linked structs span a full cache
+#: line, so the chase's working set greatly exceeds the L1 (as in the
+#: original's arc arrays).
+STRIDE = 16
+#: Traversals of the node cycle; the second pass re-touches every
+#: line, giving the L2 its role (the original iterates its network
+#: simplex loop many times).
+PASSES = 2
+
+
+def _inputs(seed: int, scale: Scale) -> tuple[list[int], list[int], int]:
+    n = scaled(BASE_N, scale)
+    nxt = linked_list_order(seed, "mcf.next", n)
+    cost = int_array(seed, "mcf.cost", n, 1, 1000)
+    return nxt, cost, n
+
+
+def build(scale: Scale = Scale.SMALL, k: int | None = 2,
+          seed: int = 0) -> DataflowGraph:
+    nxt, cost, n = _inputs(seed, scale)
+    b = GraphBuilder("mcf")
+    next_b = b.data("next", nxt, stride=STRIDE)
+    cost_b = b.data("cost", cost, stride=STRIDE)
+    t = b.entry(0)
+
+    lp = b.loop(
+        [b.const(0, t), b.const(0, t), b.const(0, t)],  # step, node, total
+        invariants=[b.const(PASSES * n, t), b.const(next_b, t),
+                    b.const(cost_b, t)],
+        k=k,
+        label="chase",
+    )
+    step, node, total = lp.state
+    steps, next_base, cost_base = lp.invariants
+
+    off = b.mul(node, b.const(STRIDE, node))
+    c = b.load(b.add(cost_base, off))
+    node2 = b.load(b.add(next_base, off))
+    total_raw = b.add(total, c)
+    over = b.gt(total_raw, b.const(THRESHOLD, total_raw))
+    br = b.if_else(over, [total_raw])
+    (t_total,) = br.then_values()
+    br.then_result([b.sub(t_total, b.const(THRESHOLD, t_total))])
+    (f_total,) = br.else_values()
+    br.else_result([f_total])
+    (total2,) = br.end()
+
+    step2 = b.add(step, b.const(1, step))
+    lp.next_iteration(b.lt(step2, steps), [step2, node2, total2])
+    exits = lp.end()
+    b.output(exits[1], label="final_node")
+    b.output(exits[2], label="total_cost")
+    return b.finalize()
+
+
+def reference(scale: Scale = Scale.SMALL, seed: int = 0) -> list:
+    nxt, cost, n = _inputs(seed, scale)
+    node, total = 0, 0
+    for _ in range(PASSES * n):
+        total += cost[node]
+        node = nxt[node]
+        if total > THRESHOLD:
+            total -= THRESHOLD
+    return [node, total]

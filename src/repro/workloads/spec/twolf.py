@@ -1,0 +1,98 @@
+"""``twolf`` stand-in: a placement-improvement sweep.
+
+The original is simulated annealing over standard-cell placements:
+integer cost evaluation over neighbouring cells with conditional
+swaps written back to memory.  This kernel sweeps adjacent pairs of a
+position array, swapping in memory whenever the swap lowers a
+quadratic wire-cost -- each iteration's loads observe the previous
+iteration's conditional stores, a read-after-write chain through the
+wave-ordered store buffer.
+"""
+
+from __future__ import annotations
+
+from ...isa.graph import DataflowGraph
+from ...lang.builder import GraphBuilder
+from ..base import Scale, scaled
+from ..data import int_array
+
+BASE_N = 64
+#: Words per cell record (the original's cell structs are large).
+STRIDE = 8
+#: Annealing sweeps over the cell array (reuse across sweeps).
+PASSES = 2
+
+
+def _input(seed: int, scale: Scale) -> list[int]:
+    return int_array(seed, "twolf", scaled(BASE_N, scale), 0, 64)
+
+
+def build(scale: Scale = Scale.SMALL, k: int | None = 2,
+          seed: int = 0) -> DataflowGraph:
+    pos = _input(seed, scale)
+    n = len(pos)
+    b = GraphBuilder("twolf")
+    pos_b = b.data("pos", pos, stride=STRIDE)
+    t = b.entry(0)
+
+    lp = b.loop(
+        [b.const(0, t), b.const(0, t)],  # i, swaps
+        invariants=[b.const(PASSES * (n - 2), t), b.const(n - 2, t),
+                    b.const(pos_b, t)],
+        k=k,
+        label="sweep",
+    )
+    cnt, swaps = lp.state
+    limit, sweep_len, base = lp.invariants
+
+    i = b.mod(cnt, sweep_len)
+    stride_c = b.const(STRIDE, i)
+    off = b.mul(i, stride_c)
+    a = b.load(b.add(base, off))
+    off1 = b.add(off, stride_c)
+    c = b.load(b.add(base, off1))
+    off2 = b.add(off1, stride_c)
+    d = b.load(b.add(base, off2))
+    # Cost of keeping vs. swapping the middle pair (a,c,d window).
+    keep = b.add(b.mul(b.sub(a, c), b.sub(a, c)),
+                 b.mul(b.sub(c, d), b.sub(c, d)))
+    swap = b.add(b.mul(b.sub(a, d), b.sub(a, d)),
+                 b.mul(b.sub(d, c), b.sub(d, c)))
+    better = b.lt(swap, keep)
+    br = b.if_else(better, [swaps, c, d, base, i])
+    t_swaps, t_c, t_d, t_base, t_i = br.then_values()
+    t_stride = b.const(STRIDE, t_i)
+    t_off1 = b.mul(b.add(t_i, b.const(1, t_i)), t_stride)
+    b.store(b.add(t_base, t_off1), t_d)
+    b.store(b.add(t_base, b.add(t_off1, t_stride)), t_c)
+    br.then_result([b.add(t_swaps, b.const(1, t_swaps))])
+    f_swaps, _, _, _, _ = br.else_values()
+    br.else_result([f_swaps])
+    (swaps2,) = br.end()
+
+    cnt2 = b.add(cnt, b.const(1, cnt))
+    lp.next_iteration(b.lt(cnt2, limit), [cnt2, swaps2])
+    exits = lp.end()
+    swaps_f = exits[1]
+    base_f = exits[4]
+    # Checksum the (mutated) array head so the stores are observable.
+    head = b.load(base_f)
+    second = b.load(b.add(base_f, b.const(STRIDE, base_f)))
+    b.output(b.nop(swaps_f), label="swaps")
+    b.output(b.add(head, second), label="head_sum")
+    return b.finalize()
+
+
+def reference(scale: Scale = Scale.SMALL, seed: int = 0) -> list:
+    pos = list(_input(seed, scale))
+    n = len(pos)
+    swaps = 0
+    for cnt in range(PASSES * (n - 2)):
+        i = cnt % (n - 2)
+        a, c, d = pos[i], pos[i + 1], pos[i + 2]
+        keep = (a - c) ** 2 + (c - d) ** 2
+        swap = (a - d) ** 2 + (d - c) ** 2
+        if swap < keep:
+            pos[i + 1], pos[i + 2] = d, c
+            swaps += 1
+    return [swaps, pos[0] + pos[1]]

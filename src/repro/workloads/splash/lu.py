@@ -1,0 +1,86 @@
+"""``lu`` stand-in: one parallel elimination step of blocked LU.
+
+Splash2's LU factorises a dense matrix with processors owning row
+blocks; each step scales rows against the shared pivot row.  Threads
+here eliminate their strip of rows against row 0: one FP divide per
+row, an unrolled multiply-subtract across the row, and stores back --
+with every thread *reading* the pivot row, exercising the coherence
+protocol's shared state (the pivot line ends up SHARED in several L1s).
+"""
+
+from __future__ import annotations
+
+from ...isa.graph import DataflowGraph
+from ...lang.builder import GraphBuilder
+from ..base import Scale, partition, scaled
+from ..data import float_array
+from ..kernel_utils import reduce_tree, reduce_values, spawn_workers
+
+BASE_ROWS = 16  # rows below the pivot
+WIDTH = 8
+
+
+def _inputs(seed: int, scale: Scale) -> tuple[list[float], int]:
+    rows = scaled(BASE_ROWS, scale) + 1  # +1 pivot row
+    matrix = float_array(seed, "lu.A", rows * WIDTH, 0.5, 2.0)
+    return matrix, rows
+
+
+def build(scale: Scale = Scale.SMALL, threads: int = 4,
+          k: int | None = 4, seed: int = 0) -> DataflowGraph:
+    matrix, rows = _inputs(seed, scale)
+    if threads > rows - 1:
+        raise ValueError(f"lu: {threads} threads exceed {rows - 1} rows")
+    b = GraphBuilder("lu")
+    a_b = b.data("A", matrix)
+    t = b.entry(0)
+    parts = partition(rows - 1, threads)
+
+    def worker(tid: int, seed_node):
+        start, stop = parts[tid]
+        lp = b.loop(
+            [b.const(start + 1, seed_node), b.const(0.0, seed_node)],
+            invariants=[b.const(stop + 1, seed_node),
+                        b.const(a_b, seed_node)],
+            k=k,
+            label=f"lu.t{tid}",
+        )
+        r, acc = lp.state
+        stop_c, a_base = lp.invariants
+
+        row_off = b.mul(r, b.const(WIDTH, r))
+        lead = b.load(b.add(a_base, row_off))
+        pivot = b.load(a_base)  # A[0][0]
+        f = b.fdiv(lead, pivot)
+        for c in range(1, WIDTH):
+            pv = b.load(b.add(a_base, b.const(c, f)))  # pivot row entry
+            av = b.load(b.add(a_base, b.add(row_off, b.const(c, f))))
+            b.store(b.add(a_base, b.add(row_off, b.const(c, f))),
+                    b.fsub(av, b.fmul(f, pv)))
+        acc2 = b.fadd(acc, f)
+
+        r2 = b.add(r, b.const(1, r))
+        lp.next_iteration(b.lt(r2, stop_c), [r2, acc2])
+        exits = lp.end()
+        return exits[1]
+
+    results = spawn_workers(b, t, threads, worker)
+    b.output(reduce_tree(b, results, b.fadd), label="factor_sum")
+    return b.finalize()
+
+
+def reference(scale: Scale = Scale.SMALL, threads: int = 4,
+              seed: int = 0) -> list:
+    matrix, rows = _inputs(seed, scale)
+    a = list(matrix)
+    parts = partition(rows - 1, threads)
+    partials = []
+    for start, stop in parts:
+        acc = 0.0
+        for r in range(start + 1, stop + 1):
+            f = a[r * WIDTH] / a[0]
+            for c in range(1, WIDTH):
+                a[r * WIDTH + c] = a[r * WIDTH + c] - f * a[c]
+            acc = acc + f
+        partials.append(acc)
+    return [reduce_values(partials, lambda x, y: x + y)]

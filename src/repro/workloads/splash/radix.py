@@ -1,0 +1,101 @@
+"""``radix`` stand-in: parallel histogram (one radix-sort pass).
+
+Splash2's radix sort builds per-processor digit histograms, then
+scans and permutes.  Each thread here histograms the 4-bit digit of
+its key partition into a private bucket array -- a read-modify-write
+(load, add, store) per key to a *recently written* address, the
+pattern that exercises the store buffer's partial store queues -- and
+then folds its buckets into a weighted checksum.
+"""
+
+from __future__ import annotations
+
+from ...isa.graph import DataflowGraph
+from ...lang.builder import GraphBuilder
+from ..base import Scale, partition, scaled
+from ..data import int_array
+from ..kernel_utils import reduce_tree, reduce_values, spawn_workers
+
+BASE_N = 96
+BUCKETS = 16
+SHIFT = 4
+#: Words per key record (the original sorts multi-word records).
+STRIDE = 16
+#: Digit passes (real radix sort histograms one digit per pass; the
+#: second pass re-reads every key record, exercising L1/L2 reuse).
+PASSES = 2
+
+
+def _input(seed: int, scale: Scale) -> list[int]:
+    return int_array(seed, "radix", scaled(BASE_N, scale), 0, 1 << 12)
+
+
+def build(scale: Scale = Scale.SMALL, threads: int = 4,
+          k: int | None = 2, seed: int = 0) -> DataflowGraph:
+    keys = _input(seed, scale)
+    n = len(keys)
+    if threads > n:
+        raise ValueError(f"radix: {threads} threads exceed {n} keys")
+    b = GraphBuilder("radix")
+    key_b = b.data("keys", keys, stride=STRIDE)
+    hist_b = b.alloc("hists", threads * BUCKETS)
+    t = b.entry(0)
+    parts = partition(n, threads)
+
+    def worker(tid: int, seed_node):
+        start, stop = parts[tid]
+        my_hist = hist_b + tid * BUCKETS
+        size = stop - start
+        lp = b.loop(
+            [b.const(0, seed_node)],
+            invariants=[b.const(PASSES * size, seed_node),
+                        b.const(size, seed_node),
+                        b.const(start, seed_node),
+                        b.const(key_b, seed_node),
+                        b.const(my_hist, seed_node)],
+            k=k,
+            label=f"radix.t{tid}",
+        )
+        (cnt,) = lp.state
+        limit, size_c, start_c, key_base, hist_base = lp.invariants
+
+        i = b.add(start_c, b.mod(cnt, size_c))
+        key = b.load(b.add(key_base, b.mul(i, b.const(STRIDE, i))))
+        # Pass p histograms digit p (shift grows by 4 per pass).
+        shift = b.add(b.const(SHIFT, cnt),
+                      b.mul(b.div(cnt, size_c), b.const(4, cnt)))
+        digit = b.and_(b.sar(key, shift), b.const(BUCKETS - 1, key))
+        slot = b.add(hist_base, digit)
+        count = b.load(slot)
+        b.store(b.nop(slot), b.add(count, b.const(1, count)))
+
+        cnt2 = b.add(cnt, b.const(1, cnt))
+        lp.next_iteration(b.lt(cnt2, limit), [cnt2])
+        exits = lp.end()
+        hist_f = exits[5]
+        # Fold the private histogram into a weighted checksum
+        # (post-loop wave: the loads observe all of this thread's
+        # stores through wave ordering).
+        total = b.const(0, exits[0])
+        for d in range(BUCKETS):
+            count = b.load(b.add(hist_f, b.const(d, hist_f)))
+            total = b.add(total, b.mul(count, b.const(d + 1, count)))
+        return total
+
+    results = spawn_workers(b, t, threads, worker)
+    b.output(reduce_tree(b, results, b.add), label="weighted_counts")
+    return b.finalize()
+
+
+def reference(scale: Scale = Scale.SMALL, threads: int = 4,
+              seed: int = 0) -> list:
+    keys = _input(seed, scale)
+    parts = partition(len(keys), threads)
+    partials = []
+    for start, stop in parts:
+        hist = [0] * BUCKETS
+        for p in range(PASSES):
+            for i in range(start, stop):
+                hist[(keys[i] >> (SHIFT + 4 * p)) & (BUCKETS - 1)] += 1
+        partials.append(sum(c * (d + 1) for d, c in enumerate(hist)))
+    return [reduce_values(partials, lambda x, y: x + y)]

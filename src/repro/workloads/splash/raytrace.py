@@ -1,0 +1,91 @@
+"""``raytrace`` stand-in: parallel ray-sphere intersection.
+
+Splash2's raytracer distributes rays over processors; per ray the hot
+path is intersection arithmetic with a data-dependent hit branch and a
+square root on the hit path.  Threads here test their ray partition
+against a sphere: quadratic discriminant, conditional FSQRT, hit
+accumulation -- divergent FP control flow that keeps utilisation
+uneven across PEs, as in the original.
+"""
+
+from __future__ import annotations
+
+from ...isa.graph import DataflowGraph
+from ...lang.builder import GraphBuilder
+from ..base import Scale, partition, scaled
+from ..data import float_array
+from ..kernel_utils import reduce_tree, reduce_values, spawn_workers
+
+BASE_RAYS = 48
+RADIUS2 = 0.5  # sphere radius^2 (centred on the axis)
+
+
+def _inputs(seed: int, scale: Scale) -> tuple[list[float], int]:
+    rays = scaled(BASE_RAYS, scale)
+    # Each ray: impact parameter b0 in [-1.5, 1.5].
+    return float_array(seed, "ray.b", rays, -1.5, 1.5), rays
+
+
+def build(scale: Scale = Scale.SMALL, threads: int = 4,
+          k: int | None = 4, seed: int = 0) -> DataflowGraph:
+    impact, rays = _inputs(seed, scale)
+    if threads > rays:
+        raise ValueError(f"raytrace: {threads} threads exceed {rays} rays")
+    b = GraphBuilder("raytrace")
+    b_b = b.data("impact", impact)
+    t = b.entry(0)
+    parts = partition(rays, threads)
+
+    def worker(tid: int, seed_node):
+        start, stop = parts[tid]
+        lp = b.loop(
+            [b.const(start, seed_node), b.const(0, seed_node),
+             b.const(0.0, seed_node)],  # i, hits, depth sum
+            invariants=[b.const(stop, seed_node), b.const(b_b, seed_node)],
+            k=k,
+            label=f"ray.t{tid}",
+        )
+        i, hits, depth = lp.state
+        stop_c, b_base = lp.invariants
+
+        b0 = b.load(b.add(b_base, i))
+        disc = b.fsub(b.const(RADIUS2, b0), b.fmul(b0, b0))
+        hit = b.flt(b.const(0.0, disc), disc)
+        br = b.if_else(hit, [disc, hits, depth])
+        t_disc, t_hits, t_depth = br.then_values()
+        tval = b.fsub(b.const(1.0, t_disc), b.fsqrt(t_disc))
+        br.then_result([b.add(t_hits, b.const(1, t_hits)),
+                        b.fadd(t_depth, tval)])
+        _, f_hits, f_depth = br.else_values()
+        br.else_result([f_hits, f_depth])
+        hits2, depth2 = br.end()
+
+        i2 = b.add(i, b.const(1, i))
+        lp.next_iteration(b.lt(i2, stop_c), [i2, hits2, depth2])
+        exits = lp.end()
+        hits_f, depth_f = exits[1], exits[2]
+        # Pack (hits, depth) into one float result for the join.
+        return b.fadd(b.fmul(b.i2f(hits_f), b.const(1000.0, hits_f)),
+                      depth_f)
+
+    results = spawn_workers(b, t, threads, worker)
+    b.output(reduce_tree(b, results, b.fadd), label="packed_hits_depth")
+    return b.finalize()
+
+
+def reference(scale: Scale = Scale.SMALL, threads: int = 4,
+              seed: int = 0) -> list:
+    import math
+
+    impact, rays = _inputs(seed, scale)
+    parts = partition(rays, threads)
+    partials = []
+    for start, stop in parts:
+        hits, depth = 0, 0.0
+        for i in range(start, stop):
+            disc = RADIUS2 - impact[i] * impact[i]
+            if 0.0 < disc:
+                hits += 1
+                depth = depth + (1.0 - math.sqrt(disc))
+        partials.append(float(hits) * 1000.0 + depth)
+    return [reduce_values(partials, lambda x, y: x + y)]

@@ -1,0 +1,87 @@
+"""``water`` stand-in: short-range pairwise force evaluation.
+
+Splash2's Water-Spatial computes intra/inter-molecular forces over
+spatially hashed molecules.  Threads here accumulate inverse-square
+interactions of each owned molecule against its four ring neighbours
+and store per-molecule forces -- an FP-heavy O(n x neighbours) loop
+whose neighbour loads cross partition boundaries (coherence sharing),
+the highest-virtualization-ratio workload in the paper's Table 4.
+"""
+
+from __future__ import annotations
+
+from ...isa.graph import DataflowGraph
+from ...lang.builder import GraphBuilder
+from ..base import Scale, partition, scaled
+from ..data import float_array
+from ..kernel_utils import reduce_tree, reduce_values, spawn_workers
+
+BASE_N = 48
+NEIGHBOURS = 4
+EPS = 0.05
+
+
+def _inputs(seed: int, scale: Scale) -> tuple[list[float], int]:
+    n = scaled(BASE_N, scale)
+    return float_array(seed, "water.x", n, -4.0, 4.0), n
+
+
+def build(scale: Scale = Scale.SMALL, threads: int = 4,
+          k: int | None = 4, seed: int = 0) -> DataflowGraph:
+    xs, n = _inputs(seed, scale)
+    if threads > n:
+        raise ValueError(f"water: {threads} threads exceed {n} molecules")
+    b = GraphBuilder("water")
+    x_b = b.data("x", xs)
+    f_b = b.alloc("force", n)
+    t = b.entry(0)
+    parts = partition(n, threads)
+
+    def worker(tid: int, seed_node):
+        start, stop = parts[tid]
+        lp = b.loop(
+            [b.const(start, seed_node), b.const(0.0, seed_node)],
+            invariants=[b.const(stop, seed_node), b.const(x_b, seed_node),
+                        b.const(f_b, seed_node), b.const(n, seed_node)],
+            k=k,
+            label=f"water.t{tid}",
+        )
+        i, acc = lp.state
+        stop_c, x_base, f_base, n_c = lp.invariants
+
+        xi = b.load(b.add(x_base, i))
+        force = b.const(0.0, i)
+        for d in range(1, NEIGHBOURS + 1):
+            j = b.mod(b.add(i, b.const(d, i)), n_c)
+            xj = b.load(b.add(x_base, j))
+            dx = b.fsub(xi, xj)
+            d2 = b.fadd(b.fmul(dx, dx), b.const(EPS, dx))
+            force = b.fadd(force, b.fdiv(b.const(1.0, d2), d2))
+        b.store(b.add(f_base, i), force)
+        acc2 = b.fadd(acc, force)
+
+        i2 = b.add(i, b.const(1, i))
+        lp.next_iteration(b.lt(i2, stop_c), [i2, acc2])
+        exits = lp.end()
+        return exits[1]
+
+    results = spawn_workers(b, t, threads, worker)
+    b.output(reduce_tree(b, results, b.fadd), label="total_force")
+    return b.finalize()
+
+
+def reference(scale: Scale = Scale.SMALL, threads: int = 4,
+              seed: int = 0) -> list:
+    xs, n = _inputs(seed, scale)
+    parts = partition(n, threads)
+    partials = []
+    for start, stop in parts:
+        acc = 0.0
+        for i in range(start, stop):
+            force = 0.0
+            for d in range(1, NEIGHBOURS + 1):
+                dx = xs[i] - xs[(i + d) % n]
+                force = force + 1.0 / (dx * dx + EPS)
+            acc = acc + force
+        partials.append(acc)
+    return [reduce_values(partials, lambda x, y: x + y)]

@@ -1,0 +1,92 @@
+"""Tests for the Table 2 cluster budget reproduction."""
+
+import pytest
+
+from repro.area import (
+    budget_rows,
+    cluster_total_mm2,
+    domain_total_mm2,
+    format_budget_table,
+    pe_total_mm2,
+    sram_fraction,
+)
+from repro.area.budget import (
+    CLUSTER_COMPONENTS_MM2,
+    DOMAIN_COMPONENTS_MM2,
+    PE_COMPONENTS_MM2,
+)
+
+
+def test_pe_total_matches_table2():
+    """Table 2: PE total 0.94 mm^2 (sum prints as 0.95 from rounded
+    components)."""
+    assert pe_total_mm2() == pytest.approx(0.95, abs=0.02)
+
+
+def test_match_dominates_pe():
+    """Table 2: MATCH is ~61% of the PE."""
+    share = PE_COMPONENTS_MM2["MATCH"] / pe_total_mm2()
+    assert 0.55 < share < 0.66
+
+
+def test_istore_share_of_pe():
+    """Table 2: the instruction store is ~33% of the PE."""
+    share = PE_COMPONENTS_MM2["instruction store"] / pe_total_mm2()
+    assert 0.28 < share < 0.38
+
+
+def test_domain_total_matches_table2():
+    """Table 2: domain total 8.33 mm^2."""
+    assert domain_total_mm2() == pytest.approx(8.39, abs=0.15)
+
+
+def test_cluster_total_matches_table2():
+    """Table 2: cluster total 42.50 mm^2."""
+    assert cluster_total_mm2() == pytest.approx(42.5, abs=0.75)
+
+
+def test_pes_are_71_percent_of_cluster():
+    """Section 4.1 / Table 2: 71% of the cluster area is PEs."""
+    share = 32 * pe_total_mm2() / cluster_total_mm2()
+    assert share == pytest.approx(0.71, abs=0.015)
+
+
+def test_sram_fraction_about_80_percent():
+    """Section 4.1: ~80% of area in SRAM structures."""
+    assert sram_fraction() == pytest.approx(0.80, abs=0.03)
+
+
+def test_store_buffer_share():
+    """Table 2: store buffer = 6.2% of the cluster."""
+    share = CLUSTER_COMPONENTS_MM2["store buffer"] / cluster_total_mm2()
+    assert share == pytest.approx(0.062, abs=0.004)
+
+
+def test_budget_rows_percentages_consistent():
+    rows = budget_rows()
+    cluster_total = cluster_total_mm2()
+    for row in rows:
+        if row.pct_cluster is not None:
+            assert row.pct_cluster == pytest.approx(
+                row.area_cluster / cluster_total
+            )
+    totals = [r for r in rows if r.component == "cluster total"]
+    assert len(totals) == 1
+    assert totals[0].pct_cluster == pytest.approx(1.0)
+
+
+def test_budget_rows_cover_all_components():
+    names = {r.component for r in budget_rows()}
+    for name in PE_COMPONENTS_MM2:
+        assert name in names
+    for name in DOMAIN_COMPONENTS_MM2:
+        assert name in names
+    for name in CLUSTER_COMPONENTS_MM2:
+        assert name in names
+
+
+def test_format_budget_table_renders():
+    text = format_budget_table()
+    assert "MATCH" in text
+    assert "cluster total" in text
+    assert "100.0%" in text

@@ -1,0 +1,84 @@
+"""Tests for the chip floorplan geometry."""
+
+import pytest
+
+from repro.area.floorplan import Floorplan, Point
+from repro.core.config import WaveScalarConfig
+
+
+def make(clusters=4, **kw):
+    kw.setdefault("virtualization", 64)
+    kw.setdefault("matching_entries", 64)
+    kw.setdefault("l2_mb", 1)
+    return Floorplan(WaveScalarConfig(clusters=clusters, **kw))
+
+
+def test_point_distance():
+    assert Point(0, 0).distance(Point(3, 4)) == pytest.approx(5.0)
+
+
+def test_core_dimensions_scale_with_clusters():
+    small = make(1)
+    big = make(16)
+    assert big.core_width == pytest.approx(4 * small.core_width)
+    assert small.cluster_side == pytest.approx(big.cluster_side)
+
+
+def test_cluster_centers_inside_core():
+    fp = make(16)
+    for c in range(16):
+        p = fp.cluster_center(c)
+        assert 0 < p.x < fp.core_width
+        assert 0 < p.y < fp.core_height
+
+
+def test_banks_on_perimeter():
+    fp = make(16)
+    eps = 1e-9
+    for b in range(fp.n_banks):
+        p = fp.bank_position(b)
+        on_edge = (
+            abs(p.x) < eps or abs(p.x - fp.core_width) < eps
+            or abs(p.y) < eps or abs(p.y - fp.core_height) < eps
+        )
+        assert on_edge, (b, p)
+
+
+def test_bank_positions_distinct():
+    fp = make(16)
+    points = {(round(fp.bank_position(b).x, 6),
+               round(fp.bank_position(b).y, 6))
+              for b in range(fp.n_banks)}
+    assert len(points) == fp.n_banks
+
+
+def test_l2_latency_within_paper_band():
+    """Section 3.3.2: 20-30 cycles depending on distance."""
+    for clusters in (1, 4, 16):
+        fp = make(clusters)
+        lats = [
+            fp.l2_latency(c, b)
+            for c in range(clusters)
+            for b in range(fp.n_banks)
+        ]
+        assert min(lats) >= 20
+        assert max(lats) <= 30
+        if clusters >= 4:
+            assert max(lats) > min(lats)  # distance matters
+
+
+def test_latency_monotone_in_distance():
+    fp = make(16)
+    near = min(range(fp.n_banks),
+               key=lambda b: fp.bank_distance_mm(0, b))
+    far = max(range(fp.n_banks),
+              key=lambda b: fp.bank_distance_mm(0, b))
+    assert fp.l2_latency(0, near) <= fp.l2_latency(0, far)
+
+
+def test_render_shows_all_clusters():
+    fp = make(4)
+    text = fp.render()
+    for c in range(4):
+        assert f"C{c}" in text
+    assert "L2" in text

@@ -1,0 +1,116 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+def test_list(capsys):
+    code, out = run_cli(capsys, "list")
+    assert code == 0
+    for name in ("gzip", "fft", "rawdaudio"):
+        assert name in out
+
+
+def test_run_single_threaded(capsys):
+    code, out = run_cli(capsys, "run", "-w", "mcf", "--scale", "tiny")
+    assert code == 0
+    assert "AIPC" in out
+    assert "outputs:" in out
+
+
+def test_run_multithreaded(capsys):
+    code, out = run_cli(
+        capsys, "run", "-w", "radix", "--scale", "tiny", "--threads", "2",
+        "--clusters", "2", "--domains", "4",
+    )
+    assert code == 0
+    assert "AIPC" in out
+
+
+def test_area(capsys):
+    code, out = run_cli(capsys, "area", "--clusters", "4", "--l2-mb", "1")
+    assert code == 0
+    assert "total" in out
+    assert "mm2" in out
+    assert "FO4" in out
+
+
+def test_designs(capsys):
+    code, out = run_cli(capsys, "designs")
+    assert code == 0
+    assert "viable designs" in out
+    assert "C16" in out
+
+
+def test_trace(capsys):
+    code, out = run_cli(
+        capsys, "trace", "-w", "gzip", "--scale", "tiny", "--events", "10"
+    )
+    assert code == 0
+    assert "dispatch" in out
+    assert "showing 10 of" in out
+
+
+def test_sweep_small_sample(capsys):
+    code, out = run_cli(
+        capsys, "sweep", "--suite", "spec", "--sample", "30",
+        "--scale", "tiny",
+    )
+    assert code == 0
+    assert "Pareto frontier" in out
+    assert "AIPC" in out
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "-w", "doom"])
+
+
+def test_missing_command_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_characterize(capsys):
+    code, out = run_cli(capsys, "characterize", "--suite", "media")
+    assert code == 0
+    assert "djpeg" in out and "mem/alpha" in out
+
+
+def test_tune(capsys):
+    code, out = run_cli(capsys, "tune", "-w", "mcf")
+    assert code == 0
+    assert "k_opt=" in out and "ratio" in out
+
+
+def test_sweep_save(capsys, tmp_path):
+    out_file = tmp_path / "sweep.json"
+    code, out = run_cli(
+        capsys, "sweep", "--suite", "spec", "--sample", "40",
+        "--scale", "tiny", "--save", str(out_file),
+    )
+    assert code == 0
+    from repro.design import load_points
+
+    points, meta = load_points(out_file)
+    assert points and meta["suite"] == "spec"
+
+
+def test_report_command(capsys, tmp_path):
+    out_file = tmp_path / "report.md"
+    code, out = run_cli(
+        capsys, "report", "--sample", "40", "-o", str(out_file)
+    )
+    assert code == 0
+    text = out_file.read_text()
+    assert "# WaveScalar reproduction" in text
+    assert "Area model" in text
+    assert "Pareto" in text
+    assert "Traffic locality" in text

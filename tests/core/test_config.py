@@ -1,0 +1,90 @@
+"""Tests for WaveScalarConfig."""
+
+import pytest
+
+from repro.core.config import BASELINE, WaveScalarConfig
+
+
+def test_baseline_matches_table1():
+    assert BASELINE.clusters == 1
+    assert BASELINE.domains_per_cluster == 4
+    assert BASELINE.pes_per_domain == 8
+    assert BASELINE.virtualization == 128
+    assert BASELINE.matching_entries == 128
+    assert BASELINE.l1_kb == 32
+    assert BASELINE.total_instruction_capacity == 4096  # "4K static"
+    assert BASELINE.pod_latency == 1
+    assert BASELINE.domain_latency == 5
+    assert BASELINE.cluster_latency == 9
+    assert BASELINE.dram_latency == 200
+    assert BASELINE.storebuffer_waves == 4
+    assert BASELINE.partial_store_queues == 2
+
+
+def test_derived_quantities():
+    config = WaveScalarConfig(clusters=4)
+    assert config.pes_per_cluster == 32
+    assert config.total_pes == 128
+    assert config.l1_lines == 256  # 32KB / 128B
+    assert config.l1_sets == 64
+    assert config.line_words == 16
+
+
+def test_grid_shape_near_square():
+    assert WaveScalarConfig(clusters=1).grid_shape == (1, 1)
+    assert WaveScalarConfig(clusters=4).grid_shape == (2, 2)
+    assert WaveScalarConfig(clusters=16).grid_shape == (4, 4)
+    cols, rows = WaveScalarConfig(clusters=8).grid_shape
+    assert cols * rows >= 8
+
+
+def test_cluster_distance_manhattan():
+    config = WaveScalarConfig(clusters=16)
+    assert config.cluster_distance(0, 0) == 0
+    assert config.cluster_distance(0, 3) == 3
+    assert config.cluster_distance(0, 15) == 6  # (0,0)->(3,3)
+    assert config.cluster_distance(5, 5) == 0
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"clusters": 0},
+        {"domains_per_cluster": 5},
+        {"pes_per_domain": 9},
+        {"pes_per_domain": 3},  # odd with pods
+        {"virtualization": 0},
+        {"matching_entries": 7},  # not multiple of associativity
+        {"l1_kb": 0},
+        {"l2_mb": -1},
+    ],
+)
+def test_invalid_configs_rejected(kwargs):
+    with pytest.raises(ValueError):
+        WaveScalarConfig(**kwargs)
+
+
+def test_odd_pes_allowed_without_pods():
+    config = WaveScalarConfig(
+        pes_per_domain=5, domains_per_cluster=1, pods_enabled=False
+    )
+    assert config.pes_per_domain == 5
+
+
+def test_scaled_replicates_tile():
+    scaled = BASELINE.scaled(4)
+    assert scaled.clusters == 4
+    assert scaled.virtualization == BASELINE.virtualization
+
+
+def test_config_hashable_and_frozen():
+    a = WaveScalarConfig(clusters=4)
+    b = WaveScalarConfig(clusters=4)
+    assert a == b and hash(a) == hash(b)
+    with pytest.raises(Exception):
+        a.clusters = 8  # type: ignore[misc]
+
+
+def test_describe_round_trips_key_fields():
+    text = WaveScalarConfig(clusters=16, l2_mb=2).describe()
+    assert "C16" in text and "L2:2MB" in text

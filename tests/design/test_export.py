@@ -1,0 +1,63 @@
+"""Tests for sweep serialisation."""
+
+import pytest
+
+from repro.core.config import WaveScalarConfig
+from repro.design import (
+    ParetoPoint,
+    diff_points,
+    dump_points,
+    load_points,
+)
+
+
+def make_points():
+    configs = [
+        WaveScalarConfig(clusters=1, l1_kb=8),
+        WaveScalarConfig(clusters=4, virtualization=64,
+                         matching_entries=64, l2_mb=1),
+    ]
+    return [
+        ParetoPoint(label=c.describe(), area=float(i + 40),
+                    performance=1.5 * (i + 1), payload=c)
+        for i, c in enumerate(configs)
+    ]
+
+
+def test_roundtrip(tmp_path):
+    points = make_points()
+    path = tmp_path / "sweep.json"
+    dump_points(points, path, metadata={"suite": "splash", "scale": "tiny"})
+    loaded, meta = load_points(path)
+    assert meta["suite"] == "splash"
+    assert len(loaded) == len(points)
+    for a, b in zip(points, loaded):
+        assert a.label == b.label
+        assert a.area == b.area
+        assert a.performance == b.performance
+        assert a.payload == b.payload  # full config reconstruction
+
+
+def test_unknown_format_rejected(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text('{"format": 99, "points": []}')
+    with pytest.raises(ValueError, match="unsupported sweep format"):
+        load_points(path)
+
+
+def test_diff_points_reports_changes():
+    old = make_points()
+    new = [
+        ParetoPoint(old[0].label, old[0].area, old[0].performance * 1.5,
+                    old[0].payload),
+        ParetoPoint("brand-new", 99.0, 1.0),
+    ]
+    lines = diff_points(old, new)
+    assert any("+50.0%" in line for line in lines)
+    assert any("new point: brand-new" in line for line in lines)
+    assert any("removed point" in line for line in lines)
+
+
+def test_diff_points_quiet_within_tolerance():
+    old = make_points()
+    assert diff_points(old, old) == []

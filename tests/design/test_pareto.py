@@ -1,0 +1,91 @@
+"""Tests for Pareto-frontier extraction."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.design import (
+    ParetoPoint,
+    best_performance_per_area,
+    frontier_rows,
+    is_dominated,
+    pareto_front,
+)
+
+
+def pts(*pairs):
+    return [
+        ParetoPoint(label=f"p{i}", area=a, performance=p)
+        for i, (a, p) in enumerate(pairs)
+    ]
+
+
+def test_front_simple():
+    points = pts((10, 1), (20, 2), (15, 0.5), (30, 3))
+    front = pareto_front(points)
+    assert [(p.area, p.performance) for p in front] == [
+        (10, 1), (20, 2), (30, 3)
+    ]
+
+
+def test_dominated_point_excluded():
+    points = pts((10, 2), (12, 1))
+    front = pareto_front(points)
+    assert len(front) == 1
+    assert front[0].area == 10
+
+
+def test_equal_area_keeps_fastest():
+    points = pts((10, 1), (10, 3))
+    front = pareto_front(points)
+    assert len(front) == 1
+    assert front[0].performance == 3
+
+
+def test_is_dominated():
+    points = pts((10, 2), (12, 1), (8, 3))
+    assert is_dominated(points[1], points)
+    assert is_dominated(points[0], points)  # (8,3) dominates (10,2)
+    assert not is_dominated(points[2], points)
+
+
+def test_frontier_rows_increments():
+    points = pts((10, 1), (20, 2))
+    rows = frontier_rows(points)
+    assert rows[0].area_increase is None
+    assert rows[1].area_increase == 1.0  # +100%
+    assert rows[1].perf_increase == 1.0
+
+
+def test_best_performance_per_area():
+    points = pts((10, 1), (20, 4), (40, 6))
+    best = best_performance_per_area(points)
+    assert best.area == 20  # 0.2/mm2 beats 0.1 and 0.15
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    coords=st.lists(
+        st.tuples(st.floats(1, 1000), st.floats(0, 100)),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_front_members_never_dominated(coords):
+    points = pts(*coords)
+    front = pareto_front(points)
+    assert front, "front is never empty"
+    for member in front:
+        assert not is_dominated(member, points)
+    # Every excluded point is dominated by some front member (or ties
+    # in both coordinates with one).
+    for point in points:
+        if point in front:
+            continue
+        assert any(
+            f.area <= point.area and f.performance >= point.performance
+            for f in front
+        )
+    # Front is sorted by area with strictly increasing performance.
+    for a, b in zip(front, front[1:]):
+        assert a.area <= b.area
+        assert a.performance < b.performance

@@ -1,0 +1,76 @@
+"""Tests for the sensitivity-analysis machinery (analytic evaluators)."""
+
+import pytest
+
+from repro.core.config import WaveScalarConfig
+from repro.design import (
+    DEFAULT_AXES,
+    render_sensitivity,
+    sensitivity_sweep,
+)
+
+BASE = WaveScalarConfig(
+    clusters=1, virtualization=64, matching_entries=64, l1_kb=16, l2_mb=1
+)
+
+
+def test_sweep_covers_requested_axes():
+    axes = sensitivity_sweep(BASE, lambda c: 1.0)
+    names = {a.parameter for a in axes}
+    assert names == set(DEFAULT_AXES)
+
+
+def test_insensitive_evaluator_gives_unit_swing():
+    axes = sensitivity_sweep(BASE, lambda c: 2.5)
+    for axis in axes:
+        assert axis.performance_swing == pytest.approx(1.0)
+
+
+def test_sensitive_parameter_ranks_first():
+    def evaluate(config):
+        return 1.0 + config.l2_mb  # only the L2 matters
+
+    axes = sensitivity_sweep(BASE, evaluate)
+    assert axes[0].parameter == "l2_mb"
+    assert axes[0].performance_swing == pytest.approx(5.0)  # (1+4)/(1+0)
+
+
+def test_leverage_relates_perf_and_area():
+    def evaluate(config):
+        return float(config.l1_kb)
+
+    axes = sensitivity_sweep(
+        BASE, evaluate, axes={"l1_kb": (8, 32)}
+    )
+    (axis,) = axes
+    assert axis.performance_swing == pytest.approx(4.0)
+    assert axis.area_swing > 1.0
+    assert axis.leverage == pytest.approx(
+        axis.performance_swing / axis.area_swing
+    )
+
+
+def test_illegal_variations_dropped():
+    # pes_per_domain=3 with pods would be illegal; defaults avoid it,
+    # but a custom axis with only illegal values must vanish.
+    axes = sensitivity_sweep(
+        BASE, lambda c: 1.0, axes={"pes_per_domain": (3, 5, 7)}
+    )
+    assert axes == []
+
+
+def test_points_carry_configs_and_area():
+    axes = sensitivity_sweep(BASE, lambda c: 1.0,
+                             axes={"l2_mb": (0, 2)})
+    (axis,) = axes
+    assert [p.value for p in axis.points] == [0, 2]
+    assert axis.points[1].area_mm2 > axis.points[0].area_mm2
+    assert axis.points[0].config.l2_mb == 0
+
+
+def test_render_contains_rows():
+    axes = sensitivity_sweep(BASE, lambda c: 1.0,
+                             axes={"l1_kb": (8, 16)})
+    text = render_sensitivity(axes)
+    assert "l1_kb" in text
+    assert "leverage" in text

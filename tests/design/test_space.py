@@ -1,0 +1,105 @@
+"""Tests for design-space enumeration and pruning."""
+
+from repro.area.model import MAX_DIE_MM2, chip_area
+from repro.core.config import WaveScalarConfig
+from repro.design import (
+    MIN_CAPACITY,
+    balanced_designs,
+    is_balanced,
+    matches_ratio,
+    prune,
+    raw_design_count,
+    viable_designs,
+)
+from repro.design.space import enumerate_raw
+
+
+def test_raw_count_over_twenty_one_thousand():
+    """Paper: 'over twenty-one thousand' raw configurations."""
+    assert raw_design_count() > 21_000
+    assert raw_design_count() == sum(1 for _ in enumerate_raw())
+
+
+def test_balance_rules():
+    # Fewer than 8 PEs/domain -> single domain only.
+    assert not is_balanced(
+        WaveScalarConfig(pes_per_domain=4, domains_per_cluster=2)
+    )
+    assert is_balanced(
+        WaveScalarConfig(pes_per_domain=4, domains_per_cluster=1)
+    )
+    # Fewer than 4 domains -> single cluster.
+    assert not is_balanced(
+        WaveScalarConfig(clusters=4, domains_per_cluster=2,
+                         pes_per_domain=8)
+    )
+    # Non-square multi-cluster grids rejected.
+    assert not is_balanced(WaveScalarConfig(clusters=2))
+    assert is_balanced(WaveScalarConfig(clusters=4))
+    # Oversized L2 rejected.
+    assert not is_balanced(WaveScalarConfig(l2_mb=8))
+
+
+def test_matches_ratio():
+    config = WaveScalarConfig(virtualization=128, matching_entries=128)
+    assert matches_ratio(config, 1.0)
+    assert not matches_ratio(config, 0.5)
+    half = WaveScalarConfig(virtualization=128, matching_entries=64)
+    assert matches_ratio(half, 0.5)
+
+
+def test_viable_designs_funnel():
+    balanced = balanced_designs()
+    viable = viable_designs()
+    assert len(viable) < len(balanced) < raw_design_count()
+    # Same ballpark as the paper's funnel (344 -> 41); our documented
+    # extra rules land at a few dozen viable designs.
+    assert 30 <= len(viable) <= 120
+
+
+def test_viable_designs_all_satisfy_constraints():
+    for design in viable_designs():
+        config = design.config
+        assert is_balanced(config)
+        assert matches_ratio(config, 1.0)
+        assert config.total_instruction_capacity >= MIN_CAPACITY
+        assert design.area_mm2 <= MAX_DIE_MM2
+        assert design.area_mm2 == chip_area(config)
+
+
+def test_viable_designs_span_paper_range():
+    """Paper: designs from ~40 to ~400 mm^2."""
+    designs = viable_designs()
+    assert designs[0].area_mm2 < 45
+    assert designs[-1].area_mm2 > 350
+
+
+def test_viable_sorted_by_area():
+    designs = viable_designs()
+    areas = [d.area_mm2 for d in designs]
+    assert areas == sorted(areas)
+
+
+def test_prune_with_other_ratio():
+    half = prune(enumerate_raw(), ratio=0.5)
+    for design in half:
+        assert matches_ratio(design.config, 0.5)
+
+
+def test_paper_table5_configs_are_viable():
+    """Every Table 5 configuration appears in our viable set."""
+    table5 = [
+        WaveScalarConfig(clusters=1, virtualization=128,
+                         matching_entries=128, l1_kb=8, l2_mb=0),
+        WaveScalarConfig(clusters=1, virtualization=128,
+                         matching_entries=128, l1_kb=32, l2_mb=2),
+        WaveScalarConfig(clusters=4, virtualization=64,
+                         matching_entries=64, l1_kb=8, l2_mb=1),
+        WaveScalarConfig(clusters=4, virtualization=128,
+                         matching_entries=128, l1_kb=32, l2_mb=4),
+        WaveScalarConfig(clusters=16, virtualization=64,
+                         matching_entries=64, l1_kb=8, l2_mb=1),
+    ]
+    viable = {d.config for d in viable_designs()}
+    for config in table5:
+        assert config in viable, config.describe()

@@ -1,0 +1,87 @@
+"""Tests for the Table 4 tuning machinery (with analytic stand-ins)."""
+
+import pytest
+
+from repro.design import (
+    INFINITE_MATCHING,
+    find_k_opt,
+    find_u_opt,
+    matching_entries_for,
+    processor_ratio,
+    tune_application,
+)
+from repro.design.virtualization import TuningResult
+
+
+def saturating_performance(k_sat: int, u_tolerance: int):
+    """An analytic app: perf grows with k up to k_sat; oversubscribing
+    the matching table below 256*k/u_tolerance entries hurts."""
+
+    def evaluate(k: int, entries: int) -> float:
+        perf = min(k, k_sat) * 1.0
+        needed = 256 * min(k, k_sat) / u_tolerance
+        if entries < needed:
+            perf *= 0.5  # significant drop
+        return perf
+
+    return evaluate
+
+
+def test_find_k_opt_saturates():
+    assert find_k_opt(saturating_performance(3, 8)) == 3
+    assert find_k_opt(saturating_performance(1, 8)) == 1
+
+
+def test_find_k_opt_uses_infinite_table():
+    calls = []
+
+    def evaluate(k, entries):
+        calls.append(entries)
+        return 1.0
+
+    find_k_opt(evaluate)
+    assert all(e == INFINITE_MATCHING for e in calls)
+
+
+def test_find_u_opt_detects_drop():
+    evaluate = saturating_performance(4, 8)
+    assert find_u_opt(evaluate, k_opt=4) == 8
+    assert find_u_opt(saturating_performance(4, 16), k_opt=4) == 16
+
+
+def test_find_u_opt_handles_insensitive_app():
+    # Performance never drops: u_opt is the largest candidate.
+    assert find_u_opt(lambda k, e: 1.0, k_opt=2) == 64
+
+
+def test_tune_application_ratio():
+    result = tune_application("toy", saturating_performance(4, 8))
+    assert result.k_opt == 4
+    assert result.u_opt == 8
+    assert result.virtualization_ratio == pytest.approx(0.5)
+    assert result.ratio_str() == "0.50"
+
+
+def test_processor_ratio_power_of_two_ceiling():
+    results = [
+        TuningResult("a", 3, 16, 3 / 16),
+        TuningResult("b", 4, 4, 1.0),
+        TuningResult("c", 4, 8, 0.5),
+    ]
+    assert processor_ratio(results) == 1.0
+    low = [TuningResult("a", 2, 16, 0.125)]
+    assert processor_ratio(low) == 0.125
+    over = [TuningResult("a", 6, 4, 1.5)]
+    assert processor_ratio(over) == 2.0
+
+
+def test_processor_ratio_empty_raises():
+    with pytest.raises(ValueError):
+        processor_ratio([])
+
+
+def test_matching_entries_for_clamps_to_rtl_limits():
+    assert matching_entries_for(256, 1.0) == 128  # RTL max
+    assert matching_entries_for(8, 1.0) == 16  # RTL min array size
+    assert matching_entries_for(64, 1.0) == 64
+    assert matching_entries_for(128, 0.5) == 64

@@ -1,0 +1,36 @@
+"""Every example script must run to completion (they contain their own
+assertions), so the documented entry points can never rot."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+FAST = ["quickstart.py", "custom_kernel.py", "pipeline_trace.py"]
+SLOW = ["design_space_tour.py", "multithreaded_scaling.py"]
+
+
+def run_example(name, timeout):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+@pytest.mark.parametrize("name", FAST)
+def test_fast_examples(name):
+    proc = run_example(name, timeout=180)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert proc.stdout.strip()
+
+
+@pytest.mark.parametrize("name", SLOW)
+@pytest.mark.slow
+def test_slow_examples(name):
+    proc = run_example(name, timeout=900)
+    assert proc.returncode == 0, proc.stdout + proc.stderr

@@ -1,0 +1,78 @@
+"""Cross-cutting property tests on simulator invariants."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import BASELINE, WaveScalarConfig
+from repro.lang.interp import interpret
+from repro.place.snake import place
+from repro.sim.engine import Engine
+
+from ..conftest import build_array_sum, build_threaded_sums
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(values=st.lists(st.integers(-30, 30), min_size=2, max_size=14),
+       k=st.sampled_from([1, 2, 4]))
+def test_dynamic_counts_are_microarchitecture_free(values, k):
+    """Dispatch counts must equal the interpreter's firing counts on
+    every configuration: timing can change, work cannot."""
+    graph, _ = build_array_sum(values, k=k)
+    reference = interpret(graph)
+    for config in (BASELINE,
+                   WaveScalarConfig(clusters=1, domains_per_cluster=1,
+                                    pes_per_domain=4, virtualization=32,
+                                    matching_entries=32)):
+        stats = Engine(graph, config, place(graph, config)).run()
+        assert stats.alpha_instructions == reference.alpha_instructions
+        assert stats.dynamic_instructions == \
+            reference.dynamic_instructions
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(threads=st.integers(1, 4), n=st.integers(2, 8))
+def test_traffic_accounting_conserves_messages(threads, n):
+    """Every recorded message has a level and a kind; totals agree."""
+    graph, expected = build_threaded_sums(threads, n)
+    config = WaveScalarConfig(clusters=2)
+    stats = Engine(graph, config, place(graph, config)).run()
+    assert stats.output_values() == [expected]
+    by_level = sum(
+        count for per in stats.messages.values() for count in per.values()
+    )
+    assert by_level == stats.message_count
+    assert stats.message_latency_sum >= stats.message_count  # >=1 cycle
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(n=st.integers(3, 12))
+def test_memory_image_matches_interpreter(n):
+    from ..conftest import build_store_loop
+
+    graph, expected_memory, base = build_store_loop(n, k=2)
+    reference = interpret(graph)
+    engine = Engine(graph, BASELINE, place(graph, BASELINE))
+    engine.run()
+    for addr in range(base, base + n):
+        assert engine.memory.read_word(addr) == \
+            reference.memory.get(addr, 0)
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(n=st.integers(2, 10), seed=st.integers(0, 5))
+def test_cycles_monotone_under_resource_removal(n, seed):
+    """Removing resources (pods, spec-fire) never makes a run faster:
+    the performance knobs are real and one-directional."""
+    graph, _ = build_array_sum(list(range(n + 2)), k=2)
+    full = Engine(graph, BASELINE, place(graph, BASELINE)).run()
+    stripped_config = WaveScalarConfig(
+        pods_enabled=False, speculative_fire=False
+    )
+    stripped = Engine(
+        graph, stripped_config, place(graph, stripped_config)
+    ).run()
+    assert stripped.cycles >= full.cycles

@@ -1,0 +1,70 @@
+"""Property test: architectural transparency over random configurations.
+
+Hypothesis draws processor configurations from across the legal space
+(including deliberately starved ones) and random program inputs; the
+simulator must produce the reference result on every one.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import WaveScalarConfig
+from repro.sim import simulate
+
+from ..conftest import build_array_sum, build_threaded_sums
+
+configs = st.builds(
+    WaveScalarConfig,
+    clusters=st.sampled_from([1, 2, 4]),
+    domains_per_cluster=st.sampled_from([1, 4]),
+    pes_per_domain=st.sampled_from([2, 4, 8]),
+    virtualization=st.sampled_from([32, 64, 128]),
+    matching_entries=st.sampled_from([16, 32, 128]),
+    matching_hash_k=st.sampled_from([1, 2, 4]),
+    l1_kb=st.sampled_from([8, 32]),
+    l2_mb=st.sampled_from([0, 1]),
+    pods_enabled=st.booleans(),
+    speculative_fire=st.booleans(),
+    partial_store_queues=st.sampled_from([0, 1, 2]),
+)
+
+
+def _legal(config: WaveScalarConfig) -> bool:
+    # Multi-cluster configs need 4 domains (balance rule mirrors the
+    # design space; others are legal but pointless to test twice).
+    if config.clusters > 1 and config.domains_per_cluster < 4:
+        return False
+    return True
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.filter_too_much,
+                           HealthCheck.too_slow],
+)
+@given(
+    config=configs.filter(_legal),
+    values=st.lists(st.integers(-50, 50), min_size=2, max_size=10),
+    k=st.sampled_from([1, 2, 4]),
+)
+def test_array_sum_correct_on_any_config(config, values, k):
+    graph, expected = build_array_sum(values, k=k)
+    stats = simulate(graph, config, max_cycles=3_000_000)
+    assert stats.output_values() == [expected]
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.filter_too_much,
+                           HealthCheck.too_slow],
+)
+@given(
+    config=configs.filter(_legal),
+    threads=st.sampled_from([1, 2, 3]),
+)
+def test_threads_correct_on_any_config(config, threads):
+    graph, expected = build_threaded_sums(threads, 5)
+    stats = simulate(graph, config, max_cycles=3_000_000)
+    assert stats.output_values() == [expected]

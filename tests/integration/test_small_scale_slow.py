@@ -1,0 +1,44 @@
+"""Slow full-scale integration sweep (``pytest -m slow``).
+
+Every workload at SMALL scale on two realistic processors, checked
+against its reference.  Excluded from the default run (the default
+suite covers the same paths at TINY scale); run explicitly before
+releases:
+
+    pytest -m slow tests/integration/test_small_scale_slow.py
+"""
+
+import pytest
+
+from repro.core import WaveScalarConfig, WaveScalarProcessor
+from repro.workloads import WORKLOADS, Scale, get
+
+CONFIGS = {
+    "one-cluster": WaveScalarConfig(clusters=1, l2_mb=1),
+    "quad": WaveScalarConfig(clusters=4, virtualization=64,
+                             matching_entries=64, l2_mb=1),
+}
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.mark.parametrize("config_name", sorted(CONFIGS))
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_small_scale(name, config_name):
+    w = get(name)
+    threads = 16 if w.multithreaded else None
+    proc = WaveScalarProcessor(CONFIGS[config_name])
+    result = proc.run_workload(w, scale=Scale.SMALL, threads=threads)
+    assert result.outputs() == w.expected(Scale.SMALL, threads=threads)
+    assert result.aipc > 0
+
+
+@pytest.mark.parametrize("name", ("fft", "radix", "ocean"))
+def test_sixteen_clusters_small(name):
+    config = WaveScalarConfig(clusters=16, virtualization=64,
+                              matching_entries=64, l1_kb=8, l2_mb=1)
+    w = get(name)
+    proc = WaveScalarProcessor(config)
+    result = proc.run_workload(w, scale=Scale.SMALL, threads=32)
+    assert result.outputs() == w.expected(Scale.SMALL, threads=32)
+    assert result.stats.within_cluster_fraction() > 0.9

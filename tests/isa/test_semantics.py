@@ -1,0 +1,121 @@
+"""Unit and property tests for opcode semantics."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa import Opcode
+from repro.isa.semantics import evaluate, steer_taken
+
+ints = st.integers(min_value=-(2**31), max_value=2**31)
+floats = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+
+@pytest.mark.parametrize(
+    "opcode,operands,expected",
+    [
+        (Opcode.ADD, (2, 3), 5),
+        (Opcode.SUB, (2, 3), -1),
+        (Opcode.MUL, (4, -3), -12),
+        (Opcode.DIV, (7, 2), 3),
+        (Opcode.DIV, (-7, 2), -3),  # truncating division, C semantics
+        (Opcode.MOD, (7, 2), 1),
+        (Opcode.MOD, (-7, 2), -1),
+        (Opcode.AND, (0b1100, 0b1010), 0b1000),
+        (Opcode.OR, (0b1100, 0b1010), 0b1110),
+        (Opcode.XOR, (0b1100, 0b1010), 0b0110),
+        (Opcode.SHL, (1, 4), 16),
+        (Opcode.SHR, (-1, 60), 15),  # logical shift of 64-bit pattern
+        (Opcode.SAR, (-16, 2), -4),
+        (Opcode.MIN, (3, -2), -2),
+        (Opcode.MAX, (3, -2), 3),
+        (Opcode.EQ, (5, 5), 1),
+        (Opcode.NE, (5, 5), 0),
+        (Opcode.LT, (2, 3), 1),
+        (Opcode.GE, (2, 3), 0),
+    ],
+)
+def test_integer_ops(opcode, operands, expected):
+    assert evaluate(opcode, operands) == expected
+
+
+def test_division_by_zero_yields_zero_not_trap():
+    assert evaluate(Opcode.DIV, (5, 0)) == 0
+    assert evaluate(Opcode.MOD, (5, 0)) == 0
+    assert evaluate(Opcode.FDIV, (5.0, 0.0)) == 0.0
+
+
+def test_fsqrt_of_negative_is_zero():
+    assert evaluate(Opcode.FSQRT, (-4.0,)) == 0.0
+
+
+def test_fsqrt():
+    assert evaluate(Opcode.FSQRT, (9.0,)) == 3.0
+
+
+def test_const_returns_immediate():
+    assert evaluate(Opcode.CONST, (), immediate=42) == 42
+
+
+def test_const_without_immediate_raises():
+    with pytest.raises(ValueError):
+        evaluate(Opcode.CONST, ())
+
+
+def test_steer_forwards_data_value():
+    assert evaluate(Opcode.STEER, (99, 1)) == 99
+    assert evaluate(Opcode.STEER, (99, 0)) == 99
+    assert steer_taken((99, 1)) is True
+    assert steer_taken((99, 0)) is False
+
+
+def test_merge_selects_by_predicate():
+    assert evaluate(Opcode.MERGE, (10, 20, 1)) == 10
+    assert evaluate(Opcode.MERGE, (10, 20, 0)) == 20
+
+
+def test_load_store_forward_address_and_data():
+    assert evaluate(Opcode.LOAD, (1234,)) == 1234
+    assert evaluate(Opcode.STORE, (1234, 77)) == 77
+
+
+@given(a=ints, b=ints)
+def test_div_mod_identity(a, b):
+    """C-style identity: a == (a/b)*b + a%b for b != 0."""
+    if b != 0:
+        q = evaluate(Opcode.DIV, (a, b))
+        r = evaluate(Opcode.MOD, (a, b))
+        assert q * b + r == a
+        assert abs(r) < abs(b)
+
+
+@given(a=ints, b=ints)
+def test_commutative_ops(a, b):
+    for op in (Opcode.ADD, Opcode.MUL, Opcode.AND, Opcode.OR, Opcode.XOR,
+               Opcode.MIN, Opcode.MAX, Opcode.EQ, Opcode.NE):
+        assert evaluate(op, (a, b)) == evaluate(op, (b, a))
+
+
+@given(a=floats, b=floats)
+def test_float_comparisons_consistent(a, b):
+    lt = evaluate(Opcode.FLT, (a, b))
+    le = evaluate(Opcode.FLE, (a, b))
+    eq = evaluate(Opcode.FEQ, (a, b))
+    assert le == (lt or eq)
+
+
+@given(a=ints)
+def test_roundtrip_i2f_f2i(a):
+    if abs(a) < 2**52:
+        assert evaluate(Opcode.F2I, (evaluate(Opcode.I2F, (a,)),)) == a
+
+
+@given(a=floats)
+def test_fsqrt_squares_back(a):
+    if a >= 0:
+        root = evaluate(Opcode.FSQRT, (a,))
+        assert math.isclose(root * root, a, rel_tol=1e-9, abs_tol=1e-12)

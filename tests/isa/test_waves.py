@@ -1,0 +1,68 @@
+"""Unit tests for wave-ordering annotations."""
+
+import pytest
+
+from repro.isa import UNKNOWN, WAVE_END, WAVE_START, WaveAnnotation, WaveSequencer
+from repro.isa.waves import close_wave, patch_next
+
+
+def test_annotation_validation_rejects_backward_prev():
+    with pytest.raises(ValueError):
+        WaveAnnotation(prev=5, this=3, next=UNKNOWN)
+
+
+def test_annotation_validation_rejects_backward_next():
+    with pytest.raises(ValueError):
+        WaveAnnotation(prev=UNKNOWN, this=3, next=2)
+
+
+def test_annotation_rejects_negative_this():
+    with pytest.raises(ValueError):
+        WaveAnnotation(prev=WAVE_START, this=-1, next=UNKNOWN)
+
+
+def test_first_and_last_properties():
+    first = WaveAnnotation(prev=WAVE_START, this=0, next=1)
+    last = WaveAnnotation(prev=0, this=1, next=WAVE_END)
+    assert first.is_first and not first.is_last
+    assert last.is_last and not last.is_first
+
+
+def test_repr_uses_compact_symbols():
+    ann = WaveAnnotation(prev=WAVE_START, this=0, next=UNKNOWN)
+    assert repr(ann) == "<^,0,?>"
+    assert repr(close_wave(ann)) == "<^,0,$>"
+
+
+def test_patch_next_preserves_region():
+    ann = WaveAnnotation(prev=WAVE_START, this=0, next=UNKNOWN, region=7)
+    patched = patch_next(ann, 3)
+    assert patched.next == 3
+    assert patched.region == 7
+
+
+def test_sequencer_straight_line_chain():
+    seq = WaveSequencer()
+    a = seq.next_annotation()
+    b = seq.next_annotation()
+    c = seq.next_annotation()
+    assert a.prev == WAVE_START and a.this == 0
+    assert b.prev == 0 and b.this == 1
+    assert c.prev == 1 and c.this == 2
+    assert seq.count == 3
+
+
+def test_sequencer_divergence_marks_unknown_prev():
+    seq = WaveSequencer()
+    seq.next_annotation()
+    seq.mark_divergent()
+    second = seq.next_annotation()
+    assert second.prev == UNKNOWN
+
+
+def test_sequencer_reserve_skips_numbers():
+    seq = WaveSequencer()
+    reserved = seq.reserve()
+    following = seq.next_annotation()
+    assert reserved == 0
+    assert following.this == 1

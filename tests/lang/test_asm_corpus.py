@@ -1,0 +1,42 @@
+"""The shipped .wsasm corpus must assemble, verify and execute."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core import BASELINE, WaveScalarProcessor
+from repro.lang import assemble, disassemble
+from repro.lang.interp import interpret
+
+ASM_DIR = Path(__file__).resolve().parents[2] / "examples" / "asm"
+EXPECTED = {
+    "abs_diff": [7],
+    "memory_sum": [42],
+}
+
+CORPUS = sorted(ASM_DIR.glob("*.wsasm"))
+
+
+def test_corpus_is_nonempty_and_fully_expected():
+    names = {assemble(p.read_text()).name for p in CORPUS}
+    assert names == set(EXPECTED)
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.stem)
+def test_interpreter(path):
+    graph = assemble(path.read_text())
+    assert interpret(graph).output_values() == EXPECTED[graph.name]
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.stem)
+def test_simulator(path):
+    graph = assemble(path.read_text())
+    result = WaveScalarProcessor(BASELINE).run(graph)
+    assert result.outputs() == EXPECTED[graph.name]
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.stem)
+def test_roundtrip(path):
+    graph = assemble(path.read_text())
+    again = assemble(disassemble(graph))
+    assert interpret(again).output_values() == EXPECTED[graph.name]

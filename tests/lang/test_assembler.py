@@ -1,0 +1,115 @@
+"""Tests for the assembler/disassembler round trip."""
+
+import pytest
+
+from repro.isa import Opcode
+from repro.lang import AssemblerError, assemble, disassemble
+from repro.lang.interp import interpret
+
+from ..conftest import build_array_sum, build_counted_sum, build_threaded_sums
+
+SIMPLE = """
+.program tiny
+.entry i0[0] t0 = 5
+i0: NOP -> i1[0], i2[0]
+i1: CONST #3 -> i3[0]
+i2: NOP -> i3[1]
+i3: ADD -> i4[0]
+i4: OUTPUT
+"""
+
+
+def test_assemble_simple_program():
+    graph = assemble(SIMPLE)
+    assert graph.name == "tiny"
+    assert len(graph) == 5
+    assert graph[1].immediate == 3
+    assert interpret(graph).output_values() == [8]
+
+
+def test_assemble_memory_and_annotations():
+    text = """
+.program mem
+.memory 0 = 7
+.entry i0[0] t0 = 0
+i0: NOP -> i1[0]
+i1: LOAD <^,0,$> -> i2[0]
+i2: OUTPUT
+"""
+    graph = assemble(text)
+    assert graph.initial_memory == {0: 7}
+    assert interpret(graph).output_values() == [7]
+
+
+def test_assemble_rejects_unknown_opcode():
+    with pytest.raises(AssemblerError, match="unknown opcode"):
+        assemble(".entry i0[0] t0 = 0\ni0: FROB")
+
+
+def test_assemble_rejects_duplicate_ids():
+    text = ".entry i0[0] t0 = 0\ni0: NOP\ni0: NOP"
+    with pytest.raises(AssemblerError, match="duplicate"):
+        assemble(text, verify=False)
+
+
+def test_assemble_rejects_sparse_ids():
+    text = ".entry i0[0] t0 = 0\ni0: NOP\ni5: NOP"
+    with pytest.raises(AssemblerError, match="dense"):
+        assemble(text, verify=False)
+
+
+def test_assemble_rejects_bad_destination():
+    with pytest.raises(AssemblerError, match="bad destination"):
+        assemble("i0: NOP -> banana", verify=False)
+
+
+def test_assemble_rejects_malformed_annotation():
+    with pytest.raises(AssemblerError, match="3 or 4 fields"):
+        assemble("i0: LOAD <1,2>", verify=False)
+
+
+def test_comments_and_blank_lines_ignored():
+    graph = assemble("; header comment\n\n" + SIMPLE)
+    assert len(graph) == 5
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda: build_counted_sum(5)[0],
+        lambda: build_array_sum([2, 7, 1])[0],
+        lambda: build_threaded_sums(2, 3)[0],
+    ],
+)
+def test_roundtrip_preserves_execution(factory):
+    graph = factory()
+    text = disassemble(graph)
+    graph2 = assemble(text)
+    r1 = interpret(graph)
+    r2 = interpret(graph2)
+    assert r1.output_values() == r2.output_values()
+    assert r1.memory == r2.memory
+    assert r1.dynamic_instructions == r2.dynamic_instructions
+
+
+def test_roundtrip_preserves_structure():
+    graph = build_counted_sum(4)[0]
+    graph2 = assemble(disassemble(graph))
+    assert len(graph) == len(graph2)
+    for a, b in zip(graph.instructions, graph2.instructions):
+        assert a.opcode is b.opcode
+        assert a.dests == b.dests
+        assert a.false_dests == b.false_dests
+        assert a.immediate == b.immediate
+        assert a.wave_annotation == b.wave_annotation
+    assert graph.entry_tokens == graph2.entry_tokens
+    assert graph.initial_memory == graph2.initial_memory
+
+
+def test_steer_false_dests_roundtrip():
+    graph = build_counted_sum(3)[0]
+    steers = [i for i in graph.instructions if i.opcode is Opcode.STEER]
+    assert steers, "loop must contain steers"
+    graph2 = assemble(disassemble(graph))
+    for s in steers:
+        assert graph2[s.inst_id].false_dests == s.false_dests

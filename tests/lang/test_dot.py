@@ -1,0 +1,50 @@
+"""Tests for the graphviz exporter."""
+
+from repro.lang import GraphBuilder, to_dot
+
+from ..conftest import build_counted_sum, build_threaded_sums
+
+
+def test_dot_contains_all_instructions_and_edges():
+    graph, _ = build_counted_sum(4)
+    dot = to_dot(graph)
+    assert dot.startswith('digraph "counted_sum_4"')
+    for inst in graph.instructions:
+        assert f"i{inst.inst_id} [" in dot
+    n_edges = dot.count(" -> ")
+    expected = sum(inst.fanout for inst in graph.instructions)
+    expected += len(graph.entry_tokens)
+    assert n_edges == expected
+
+
+def test_steer_false_edges_dashed():
+    graph, _ = build_counted_sum(4)
+    dot = to_dot(graph)
+    assert "style=dashed" in dot
+
+
+def test_cluster_by_thread():
+    graph, _ = build_threaded_sums(2, 3)
+    owner = graph.thread_of_instruction()
+    dot = to_dot(graph, cluster_by=owner.get)
+    assert 'subgraph "cluster_0"' in dot
+    assert 'subgraph "cluster_1"' in dot
+    assert 'subgraph "cluster_2"' in dot
+
+
+def test_entry_tokens_optional():
+    graph, _ = build_counted_sum(3)
+    with_entries = to_dot(graph)
+    without = to_dot(graph, include_entry_tokens=False)
+    assert "entry0" in with_entries
+    assert "entry0" not in without
+
+
+def test_memory_nodes_show_wave_annotation():
+    b = GraphBuilder("memdot")
+    base = b.alloc("cell", 1)
+    t = b.entry(0)
+    b.output(b.load(b.const(base, t)))
+    graph = b.finalize()
+    dot = to_dot(graph)
+    assert "<^,0," in dot  # the annotation rendered into the label

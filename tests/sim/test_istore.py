@@ -1,0 +1,51 @@
+"""Unit tests for the PE instruction store."""
+
+from repro.sim.pe.istore import InstructionStore
+
+
+def test_fits_exactly_never_misses():
+    store = InstructionStore(capacity=4, assigned=[1, 2, 3, 4])
+    assert not store.over_subscribed
+    for inst in (1, 2, 3, 4, 1, 2):
+        assert store.touch(inst)
+    assert store.misses == 0
+    assert store.hits == 6
+
+
+def test_over_subscription_detected():
+    store = InstructionStore(capacity=2, assigned=[1, 2, 3])
+    assert store.over_subscribed
+
+
+def test_cold_start_preloads_in_slot_order():
+    store = InstructionStore(capacity=2, assigned=[5, 6, 7])
+    assert store.is_resident(5)
+    assert store.is_resident(6)
+    assert not store.is_resident(7)
+
+
+def test_lru_eviction_order():
+    store = InstructionStore(capacity=2, assigned=[1, 2, 3])
+    store.touch(1)  # refresh 1 -> 2 is LRU
+    assert not store.touch(3)  # miss: evicts 2
+    assert store.is_resident(1)
+    assert store.is_resident(3)
+    assert not store.is_resident(2)
+
+
+def test_hit_does_not_fill():
+    store = InstructionStore(capacity=2, assigned=[1, 2, 3])
+    assert not store.hit(3)
+    assert not store.is_resident(3)  # probe alone must not bind
+    store.fill(3)
+    assert store.is_resident(3)
+
+
+def test_counters():
+    store = InstructionStore(capacity=1, assigned=[1, 2])
+    store.touch(1)
+    store.touch(2)
+    store.touch(1)
+    assert store.hits == 1
+    assert store.misses == 2
+    assert store.resident_count() == 1

@@ -1,0 +1,148 @@
+"""Unit and property tests for the matching table."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.pe.matching import MatchingTable
+
+
+def table(entries=16, assoc=2, banks=4, k=4) -> MatchingTable:
+    return MatchingTable(entries, assoc, banks, k)
+
+
+def test_single_operand_fires_immediately():
+    t = table()
+    r = t.insert((0, 0, 5), 0, 42, slot=0, arity=1, cycle=0)
+    assert r.accepted and r.fired is not None
+    assert r.fired.ports == {0: 42}
+    assert len(t) == 0
+
+
+def test_two_operand_rendezvous():
+    t = table()
+    r1 = t.insert((0, 0, 5), 0, 1, slot=0, arity=2, cycle=0)
+    assert r1.fired is None and len(t) == 1
+    r2 = t.insert((0, 0, 5), 1, 2, slot=0, arity=2, cycle=1)
+    assert r2.fired is not None
+    assert r2.fired.ports == {0: 1, 1: 2}
+    assert len(t) == 0
+
+
+def test_different_waves_do_not_match():
+    t = table()
+    t.insert((0, 0, 5), 0, 1, slot=0, arity=2, cycle=0)
+    r = t.insert((0, 1, 5), 1, 2, slot=0, arity=2, cycle=1)
+    assert r.fired is None
+    assert len(t) == 2
+
+
+def test_bank_conflict_rejects_same_cycle():
+    t = table(entries=16, banks=4)
+    # Two tokens hashing to the same bank in the same cycle: the second
+    # is rejected (INPUT-stage retry).
+    r1 = t.insert((0, 0, 1), 0, 1, slot=0, arity=2, cycle=5)
+    r2 = t.insert((0, 4, 2), 0, 1, slot=0, arity=2, cycle=5)
+    assert r1.accepted
+    # slot 0 wave 0 -> set 0; slot 0 wave 4 -> set 0 again (k=4).
+    assert not r2.accepted
+    r3 = t.insert((0, 4, 2), 0, 1, slot=0, arity=2, cycle=6)
+    assert r3.accepted
+
+
+def test_distinct_banks_accept_same_cycle():
+    # k=1 -> set index == slot, so slots 0..3 map to banks 0..3.
+    t = table(entries=16, banks=4, k=1)
+    results = [
+        t.insert((0, 0, i), 0, 1, slot=i, arity=2, cycle=3)
+        for i in range(4)
+    ]
+    assert all(r.accepted for r in results)
+
+
+def test_eviction_prefers_youngest_wave():
+    t = table(entries=4, assoc=2, banks=1, k=1)
+    # All tokens hash to set determined by slot; same slot -> same set.
+    t.insert((0, 2, 1), 0, 1, slot=0, arity=2, cycle=0)
+    t.insert((0, 1, 1), 0, 1, slot=0, arity=2, cycle=1)
+    r = t.insert((0, 0, 1), 0, 1, slot=0, arity=2, cycle=2)
+    assert r.miss and r.evicted is not None and not r.deflected
+    # Victim is the youngest wave (wave 2), keeping older waves stable.
+    assert r.evicted.key == (0, 2, 1)
+    assert len(t) == 2
+
+
+def test_youngest_incoming_token_is_deflected():
+    t = table(entries=4, assoc=2, banks=1, k=1)
+    t.insert((0, 0, 1), 0, 1, slot=0, arity=2, cycle=0)
+    t.insert((0, 1, 1), 0, 1, slot=0, arity=2, cycle=1)
+    r = t.insert((0, 2, 1), 0, 1, slot=0, arity=2, cycle=2)
+    assert r.miss and r.deflected and r.evicted is None
+    # Resident rows untouched: the young token itself overflows.
+    assert len(t) == 2
+    assert t.lookup((0, 0, 1)) is not None
+    assert t.lookup((0, 1, 1)) is not None
+
+
+def test_tuned_hash_avoids_conflicts_within_k_waves():
+    """With M = V*k the hash I*k + (w mod k) is conflict-free."""
+    v, k = 8, 4
+    t = MatchingTable(entries=v * k * 2, associativity=2, banks=4, hash_k=k)
+    seen = set()
+    for slot in range(v):
+        for wave in range(k):
+            seen.add(t.set_index(slot, wave))
+    assert len(seen) == v * k
+
+
+def test_occupancy():
+    t = table(entries=16)
+    assert t.occupancy() == 0.0
+    t.insert((0, 0, 1), 0, 1, slot=0, arity=2, cycle=0)
+    assert t.occupancy() == 1 / 16
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    tokens=st.lists(
+        st.tuples(
+            st.integers(0, 3),   # thread
+            st.integers(0, 7),   # wave
+            st.integers(0, 9),   # inst
+            st.integers(0, 1),   # port
+        ),
+        min_size=1,
+        max_size=60,
+        unique=True,  # duplicate operands are a program error upstream
+    )
+)
+def test_no_token_lost_or_duplicated(tokens):
+    """Conservation: every inserted operand either sits in the table,
+    fired in a completed row, or was evicted -- exactly once."""
+    t = MatchingTable(entries=8, associativity=2, banks=4, hash_k=2)
+    inserted = 0
+    fired = 0
+    evicted = 0
+    cycle = 0
+    pending = list(tokens)
+    guard = 0
+    while pending and guard < 10_000:
+        guard += 1
+        thread, wave, inst, port = pending.pop(0)
+        r = t.insert(
+            (thread, wave, inst), port, 1, slot=inst, arity=2, cycle=cycle
+        )
+        cycle += 1
+        if not r.accepted:
+            pending.append((thread, wave, inst, port))
+            continue
+        if r.deflected:
+            evicted += 1  # the token itself went to overflow
+            inserted += 1
+            continue
+        inserted += 1
+        if r.fired is not None:
+            fired += len(r.fired.ports)
+        if r.evicted is not None:
+            evicted += len(r.evicted.ports)
+    remaining = sum(len(row.ports) for row in t.pending_rows())
+    assert inserted == fired + evicted + remaining

@@ -1,0 +1,176 @@
+"""Tests for the coherent cache hierarchy."""
+
+from repro.core.config import WaveScalarConfig
+from repro.sim.memory.hierarchy import (
+    EXCLUSIVE,
+    MODIFIED,
+    SHARED,
+    CacheArray,
+    MemoryHierarchy,
+)
+from repro.sim.network.topology import Interconnect
+from repro.sim.stats import SimStats
+
+
+def make_hierarchy(**kw):
+    config = WaveScalarConfig(**kw)
+    stats = SimStats()
+    net = Interconnect(config, stats)
+    return MemoryHierarchy(config, net, stats), config, stats
+
+
+# ----------------------------------------------------------------------
+# CacheArray
+# ----------------------------------------------------------------------
+def test_cache_array_lru_eviction():
+    arr = CacheArray(sets=1, ways=2)
+    arr.insert(0, SHARED)
+    arr.insert(1, SHARED)
+    arr.lookup(0)  # refresh line 0
+    victim = arr.insert(2, SHARED)
+    assert victim == (1, SHARED)
+    assert 0 in arr and 2 in arr and 1 not in arr
+
+
+def test_cache_array_set_mapping():
+    arr = CacheArray(sets=4, ways=1)
+    arr.insert(0, SHARED)
+    arr.insert(4, SHARED)  # same set -> evicts 0
+    assert 0 not in arr
+    arr.insert(1, SHARED)  # different set
+    assert 4 in arr and 1 in arr
+
+
+# ----------------------------------------------------------------------
+# Single-cluster behaviour
+# ----------------------------------------------------------------------
+def test_cold_miss_then_hit():
+    h, config, stats = make_hierarchy(clusters=1, l2_mb=0)
+    t1 = h.access(0, 0, is_store=False, cycle=0)
+    assert stats.l1_misses == 1
+    assert t1 >= config.dram_latency  # no L2: straight to DRAM
+    t2 = h.access(0, 1, is_store=False, cycle=t1)  # same 128B line
+    assert stats.l1_hits == 1
+    assert t2 - t1 == config.l1_hit_latency
+
+
+def test_store_upgrades_to_modified():
+    h, config, stats = make_hierarchy(clusters=1)
+    h.access(0, 0, is_store=False, cycle=0)
+    state_after_load = h.l1[0].lookup(h.line_of(0))
+    assert state_after_load == EXCLUSIVE  # sole copy
+    h.access(0, 0, is_store=True, cycle=1000)
+    assert h.l1[0].lookup(h.line_of(0)) == MODIFIED
+    assert stats.l1_hits == 1  # E->M upgrade is a hit
+
+
+def test_l2_hit_faster_than_dram():
+    h, config, stats = make_hierarchy(clusters=1, l2_mb=1)
+    t1 = h.access(0, 0, is_store=False, cycle=0)  # DRAM fill
+    # Evict line 0 from L1 by filling its set, then re-access: L2 hit.
+    line_words = config.line_words
+    sets = config.l1_sets
+    for i in range(1, config.l1_associativity + 1):
+        h.access(0, (i * sets) * line_words, is_store=False, cycle=10_000 * i)
+    assert h.l1[0].lookup(0) is None, "line 0 must have been evicted"
+    t0 = 1_000_000
+    t2 = h.access(0, 0, is_store=False, cycle=t0)
+    assert stats.l2_hits >= 1
+    assert t2 - t0 < config.dram_latency
+
+
+# ----------------------------------------------------------------------
+# Coherence across clusters
+# ----------------------------------------------------------------------
+def test_read_sharing_downgrades_owner():
+    h, config, stats = make_hierarchy(clusters=4)
+    h.access(0, 0, is_store=True, cycle=0)  # cluster 0 owns M
+    assert h.l1[0].lookup(0) == MODIFIED
+    h.access(1, 0, is_store=False, cycle=1000)  # cluster 1 reads
+    assert h.l1[0].lookup(0) == SHARED
+    assert h.l1[1].lookup(0) == SHARED
+    entry = h.directory[0]
+    assert entry.owner is None
+    assert entry.sharers == {0, 1}
+
+
+def test_store_invalidates_sharers():
+    h, config, stats = make_hierarchy(clusters=4)
+    h.access(0, 0, is_store=False, cycle=0)
+    h.access(1, 0, is_store=False, cycle=1000)
+    h.access(2, 0, is_store=True, cycle=2000)
+    assert h.l1[0].lookup(0) is None
+    assert h.l1[1].lookup(0) is None
+    assert h.l1[2].lookup(0) == MODIFIED
+    assert stats.invalidations >= 2
+    entry = h.directory[0]
+    assert entry.owner == 2
+
+
+def test_store_steals_modified_line():
+    h, config, stats = make_hierarchy(clusters=4)
+    h.access(0, 0, is_store=True, cycle=0)
+    h.access(3, 0, is_store=True, cycle=1000)
+    assert h.l1[0].lookup(0) is None
+    assert h.l1[3].lookup(0) == MODIFIED
+    assert h.directory[0].owner == 3
+    assert stats.invalidations >= 1
+
+
+def test_remote_access_costs_more_than_local_hit():
+    h, config, stats = make_hierarchy(clusters=4)
+    h.access(0, 0, is_store=True, cycle=0)
+    t0 = 10_000
+    t_remote = h.access(1, 0, is_store=False, cycle=t0) - t0
+    t1 = 20_000
+    t_local = h.access(1, 0, is_store=False, cycle=t1) - t1
+    assert t_remote > t_local
+    assert stats.coherence_messages > 0
+
+
+def test_coherence_traffic_counted_as_memory_grid():
+    h, config, stats = make_hierarchy(clusters=4)
+    h.access(0, 0, is_store=True, cycle=0)
+    h.access(3, 0, is_store=False, cycle=1000)
+    assert stats.messages["memory"]["grid"] > 0
+
+
+def test_line_serialisation_orders_same_line_transactions():
+    h, config, stats = make_hierarchy(clusters=1)
+    t1 = h.access(0, 0, is_store=False, cycle=0)
+    # A second access issued "during" the first's miss starts after it.
+    t2 = h.access(0, 1, is_store=False, cycle=1)
+    assert t2 >= t1
+
+
+def test_functional_data_storage():
+    h, _, _ = make_hierarchy(clusters=1)
+    assert h.read_word(123) == 0
+    h.write_word(123, 45)
+    assert h.read_word(123) == 45
+
+
+def test_l1_eviction_writes_back_and_updates_directory():
+    h, config, stats = make_hierarchy(clusters=1, l2_mb=1)
+    line_words = config.line_words
+    sets = config.l1_sets
+    # Dirty line 0, then evict it by filling its set.
+    h.access(0, 0, is_store=True, cycle=0)
+    for i in range(1, config.l1_associativity + 1):
+        h.access(0, i * sets * line_words, is_store=False,
+                 cycle=10_000 * i)
+    assert h.l1[0].lookup(0) is None
+    entry = h.directory.get(0)
+    assert entry is not None and entry.owner is None
+    # The writeback landed in the L2: re-reading hits there, not DRAM.
+    t0 = 1_000_000
+    t1 = h.access(0, 0, is_store=False, cycle=t0)
+    assert t1 - t0 < config.dram_latency
+
+
+def test_bank_home_is_stable_and_in_range():
+    h, config, _ = make_hierarchy(clusters=4, l2_mb=1)
+    for line in range(64):
+        home = h.bank_home(line)
+        assert 0 <= home < config.clusters
+        assert home == h.bank_home(line)

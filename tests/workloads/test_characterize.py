@@ -1,0 +1,68 @@
+"""Tests for the workload characterisation module."""
+
+import pytest
+
+from repro.workloads import (
+    Scale,
+    WORKLOADS,
+    characterization_table,
+    get,
+    profile_graph,
+    profile_workload,
+)
+
+from ..conftest import build_counted_sum
+
+
+def test_profile_simple_program():
+    graph, _ = build_counted_sum(5)
+    profile = profile_graph(graph)
+    assert profile.static_instructions == len(graph)
+    assert profile.dynamic_instructions > profile.alpha_instructions > 0
+    assert profile.memory_operations == 0  # counted_sum is register-only
+    assert profile.fp_operations == 0
+    assert 0 < profile.overhead_fraction < 1
+    assert profile.waves == 7
+
+
+def test_fp_workloads_show_fp_fraction():
+    fp = profile_workload(get("ammp"), Scale.TINY)
+    integer = profile_workload(get("gzip"), Scale.TINY)
+    assert fp.fp_fraction > 0.3
+    assert integer.fp_fraction == 0.0
+
+
+def test_memory_intensity_separates_kernels():
+    chase = profile_workload(get("mcf"), Scale.TINY)
+    assert chase.memory_intensity > 0.1
+
+
+def test_control_heavy_kernels_have_high_overhead():
+    """gzip/mcf are dominated by steers and constants -- the dynamic
+    overhead the paper's AIPC metric subtracts out."""
+    gzip = profile_workload(get("gzip"), Scale.TINY)
+    djpeg = profile_workload(get("djpeg"), Scale.TINY)
+    assert gzip.overhead_fraction > djpeg.overhead_fraction
+
+
+def test_threads_scale_waves_not_static_shape():
+    two = profile_workload(get("water"), Scale.TINY, threads=2)
+    eight = profile_workload(get("water"), Scale.TINY, threads=8)
+    # More threads replicate the code: static grows.
+    assert eight.static_instructions > two.static_instructions
+    # Total work is essentially constant.
+    assert eight.alpha_instructions == pytest.approx(
+        two.alpha_instructions, rel=0.15
+    )
+
+
+def test_table_renders_every_workload():
+    profiles = [
+        profile_workload(w, Scale.TINY,
+                         threads=4 if w.multithreaded else None)
+        for w in WORKLOADS.values()
+    ]
+    text = characterization_table(profiles)
+    for name in WORKLOADS:
+        assert name in text
+    assert "mem/alpha" in text
