@@ -7,12 +7,17 @@ parameters (PSQs) matter but less; and no single parameter is free --
 "the design's inefficiencies scale as well".
 """
 
+import logging
+
 from repro.core import WaveScalarConfig
 from repro.core.experiments import run_cached
 from repro.design import render_sensitivity, sensitivity_sweep
+from repro.sim.failures import SimulationDeadlock
 from repro.workloads import get
 
 from .conftest import bench_scale
+
+logger = logging.getLogger("repro.harness")
 
 BASE = WaveScalarConfig(
     clusters=1, virtualization=64, matching_entries=64, l1_kb=16, l2_mb=1
@@ -22,8 +27,6 @@ THREADED = ("radix",)
 
 
 def evaluate(config: WaveScalarConfig) -> float:
-    from repro.sim.engine import SimulationDeadlock
-
     scale = bench_scale()
     total = 0.0
     names = APPS + THREADED
@@ -33,8 +36,13 @@ def evaluate(config: WaveScalarConfig) -> float:
             total += run_cached(
                 config, name, scale, max_cycles=5_000_000, **kwargs
             ).aipc
-        except SimulationDeadlock:
-            pass
+        except SimulationDeadlock as exc:
+            # Scores zero, but auditable: the taxonomy class says
+            # whether the design deadlocked or merely outgrew budget.
+            logger.warning(
+                "%s scored 0 on %s: %s", name, config.describe(),
+                type(exc).__name__,
+            )
     return total / len(names)
 
 

@@ -6,7 +6,8 @@ A complete WaveScalar stack in Python: ISA and toolchain
 (:mod:`repro.place`), a cycle-level simulator (:mod:`repro.sim`), the
 paper's area/timing models (:mod:`repro.area`), the design-space and
 Pareto machinery (:mod:`repro.design`), fifteen workloads
-(:mod:`repro.workloads`), and a high-level API (:mod:`repro.core`).
+(:mod:`repro.workloads`), a fault-tolerant sweep harness
+(:mod:`repro.harness`), and a high-level API (:mod:`repro.core`).
 """
 
 from .core import BASELINE, SimulationResult, WaveScalarConfig, WaveScalarProcessor

@@ -7,6 +7,7 @@ Usage::
     python -m repro area --clusters 4 --l2-mb 2
     python -m repro designs
     python -m repro sweep --suite splash --sample 6
+    python -m repro sweep --suite spec --ledger sweep.jsonl --resume
     python -m repro trace --workload mcf --events 40
 
 Every command is a thin veneer over the library; anything the CLI
@@ -139,6 +140,11 @@ def cmd_designs(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
+    from .harness.sweep import design_space_sweep
+
+    if args.resume and not args.ledger:
+        print("error: --resume requires --ledger PATH", file=sys.stderr)
+        return 2
     names = SUITES[args.suite]
     designs = viable_designs()[:: args.sample]
     threaded = args.suite == "splash"
@@ -146,8 +152,15 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         f"evaluating {len(designs)} designs on suite {args.suite!r} "
         f"({'best thread count' if threaded else 'single-threaded'}) ..."
     )
-    points = evaluate_design_space(
-        designs, names, Scale[args.scale.upper()], threaded=threaded
+    # Subprocess isolation (watchdog, kill protection) engages when a
+    # ledger or timeout asks for a supervised campaign; plain sweeps
+    # stay in-process for speed.
+    isolation = "process" if (args.ledger or args.timeout_s is not None) \
+        else "inline"
+    points, report = design_space_sweep(
+        designs, names, scale=Scale[args.scale.upper()],
+        threaded=threaded, ledger_path=args.ledger, resume=args.resume,
+        timeout_s=args.timeout_s, isolation=isolation,
     )
     if args.save:
         from .design import dump_points
@@ -159,6 +172,13 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     print("\nPareto frontier:")
     for p in pareto_front(points):
         print(f"  {p.area:>6.0f} mm2  AIPC {p.performance:5.2f}  {p.label}")
+    if report.failures:
+        print("\nzero-scored cells:")
+        for failure in report.failures:
+            print(f"  {failure.render()}")
+    if args.ledger:
+        print(f"ledger: {args.ledger}")
+    print(report.summary())
     return 0
 
 
@@ -269,6 +289,15 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=[s.value for s in Scale])
     p_sweep.add_argument("--save", default=None,
                          help="write the evaluated points to a JSON file")
+    p_sweep.add_argument("--ledger", default=None, metavar="PATH",
+                         help="JSONL results ledger: every finished "
+                              "cell is checkpointed here")
+    p_sweep.add_argument("--resume", action="store_true",
+                         help="skip cells already recorded in --ledger")
+    p_sweep.add_argument("--timeout-s", type=float, default=None,
+                         dest="timeout_s", metavar="S",
+                         help="wall-clock watchdog per cell; a hung "
+                              "run is killed and recorded")
 
     p_char = sub.add_parser("characterize",
                             help="workload shape table (Section 2.2)")

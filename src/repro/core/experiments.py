@@ -9,7 +9,8 @@ evaluations.
 
 from __future__ import annotations
 
-from dataclasses import replace
+import logging
+from dataclasses import dataclass, replace
 from typing import Iterable, Optional, Sequence
 
 from ..design.pareto import ParetoPoint, frontier_rows, pareto_front
@@ -19,11 +20,14 @@ from ..design.virtualization import (
     TuningResult,
     tune_application,
 )
+from ..sim.failures import SimulationDeadlock
 from ..workloads.base import Scale, Workload
 from ..workloads.registry import SPLASH_NAMES, get
 from .config import WaveScalarConfig
 from .processor import WaveScalarProcessor
 from .results import SimulationResult
+
+logger = logging.getLogger("repro.harness")
 
 #: Thread counts tried for each Splash2 run; the best is reported
 #: (Section 4.2: "we ran each application with a range of thread
@@ -31,7 +35,12 @@ from .results import SimulationResult
 #: count").
 THREAD_CANDIDATES = (1, 2, 4, 8, 16, 32, 64)
 
-_CACHE: dict[tuple, SimulationResult] = {}
+#: Memoised verdicts: key -> (True, result) or (False, failure).  The
+#: key includes the cycle/event budgets -- a deadlock verdict (or a
+#: completed run) observed under a small budget must never be reused
+#: for a request with a larger one -- and negative results are cached
+#: explicitly so a known-failing cell is not re-simulated either.
+_CACHE: dict[tuple, tuple[bool, object]] = {}
 
 
 def clear_cache() -> None:
@@ -49,17 +58,26 @@ def run_cached(
     max_events: int = 200_000_000,
 ) -> SimulationResult:
     """Memoised workload execution (architectural check included)."""
-    key = (config, workload_name, scale, threads, k, seed)
-    result = _CACHE.get(key)
-    if result is None:
-        workload = get(workload_name)
-        proc = WaveScalarProcessor(
-            config, max_cycles=max_cycles, max_events=max_events
-        )
+    key = (config, workload_name, scale, threads, k, seed,
+           max_cycles, max_events)
+    hit = _CACHE.get(key)
+    if hit is not None:
+        ok, payload = hit
+        if not ok:
+            raise payload
+        return payload
+    workload = get(workload_name)
+    proc = WaveScalarProcessor(
+        config, max_cycles=max_cycles, max_events=max_events
+    )
+    try:
         result = proc.run_workload(
             workload, scale=scale, threads=threads, k=k, seed=seed
         )
-        _CACHE[key] = result
+    except SimulationDeadlock as exc:
+        _CACHE[key] = (False, exc)
+        raise
+    _CACHE[key] = (True, result)
     return result
 
 
@@ -90,8 +108,6 @@ def best_threaded_result(
     max_events: int = 200_000_000,
 ) -> SimulationResult:
     """The best-AIPC thread count for one workload on one config."""
-    from ..sim.engine import SimulationDeadlock
-
     workload = get(workload_name)
     best: SimulationResult | None = None
     feasible = feasible_thread_counts(workload, scale, candidates)
@@ -120,6 +136,38 @@ def best_threaded_result(
 # ----------------------------------------------------------------------
 # Suite-level evaluation (Figures 6 and 7 and Table 5)
 # ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WorkloadFailure:
+    """One workload that scored zero on one configuration, and why."""
+
+    workload: str
+    failure_class: str
+    max_cycles: int
+    max_events: int
+    detail: str = ""
+
+    def render(self) -> str:
+        return (
+            f"{self.workload}: {self.failure_class} under "
+            f"{self.max_cycles} cycles / {self.max_events} events"
+            + (f" -- {self.detail}" if self.detail else "")
+        )
+
+
+class SuiteMean(float):
+    """A mean-AIPC value that also carries per-workload failure
+    reports.  Behaves exactly like ``float`` in arithmetic and
+    comparisons, so existing callers are unaffected; auditing code
+    reads ``.failures`` to see which workloads scored zero and why."""
+
+    failures: tuple[WorkloadFailure, ...]
+
+    def __new__(cls, value: float, failures: Sequence[WorkloadFailure] = ()):
+        obj = super().__new__(cls, value)
+        obj.failures = tuple(failures)
+        return obj
+
+
 def suite_mean_aipc(
     config: WaveScalarConfig,
     names: Sequence[str],
@@ -128,17 +176,18 @@ def suite_mean_aipc(
     candidates: Sequence[int] = THREAD_CANDIDATES,
     sweep_max_cycles: int = 5_000_000,
     sweep_max_events: int = 1_000_000,
-) -> float:
+) -> SuiteMean:
     """Average AIPC of a workload group on one configuration.
 
     A run that exceeds ``sweep_max_cycles`` (a pathologically starved
     configuration crawling through matching-table thrash) scores 0 --
     such designs are dominated by construction and the paper's
-    analysis would discard them the same way.
+    analysis would discard them the same way.  Unlike the old silent
+    ``pass``, every zero-scored workload is recorded on the returned
+    :class:`SuiteMean` and logged, so discarded designs stay auditable.
     """
-    from ..sim.engine import SimulationDeadlock
-
     total = 0.0
+    failures: list[WorkloadFailure] = []
     for name in names:
         try:
             if threaded:
@@ -153,9 +202,21 @@ def suite_mean_aipc(
                     max_events=sweep_max_events,
                 )
             total += result.aipc
-        except SimulationDeadlock:
-            pass  # scores zero
-    return total / len(names)
+        except SimulationDeadlock as exc:
+            detail = str(exc).splitlines()[0] if str(exc) else ""
+            failure = WorkloadFailure(
+                workload=name,
+                failure_class=type(exc).__name__,
+                max_cycles=sweep_max_cycles,
+                max_events=sweep_max_events,
+                detail=detail,
+            )
+            failures.append(failure)
+            logger.warning(
+                "%s scored 0 on %s: %s", name, config.describe(),
+                failure.render(),
+            )
+    return SuiteMean(total / len(names), failures)
 
 
 def evaluate_design_space(
@@ -164,8 +225,30 @@ def evaluate_design_space(
     scale: Scale = Scale.SMALL,
     threaded: bool = False,
     candidates: Sequence[int] = THREAD_CANDIDATES,
+    *,
+    ledger_path=None,
+    resume: bool = False,
+    timeout_s: Optional[float] = None,
+    isolation: str = "process",
 ) -> list[ParetoPoint]:
-    """AIPC-vs-area points for a suite over a set of designs."""
+    """AIPC-vs-area points for a suite over a set of designs.
+
+    With ``ledger_path``/``resume`` the evaluation routes through the
+    fault-tolerant harness (:func:`repro.harness.sweep
+    .design_space_sweep`): every cell runs supervised, is checkpointed
+    to the JSONL ledger, and an interrupted campaign resumes without
+    re-simulating finished cells.  The default path stays in-process
+    and memoised.
+    """
+    if ledger_path is not None or resume:
+        from ..harness.sweep import design_space_sweep
+
+        points, _report = design_space_sweep(
+            list(designs), names, scale=scale, threaded=threaded,
+            candidates=candidates, ledger_path=ledger_path,
+            resume=resume, timeout_s=timeout_s, isolation=isolation,
+        )
+        return points
     points = []
     for design in designs:
         aipc = suite_mean_aipc(
@@ -175,7 +258,7 @@ def evaluate_design_space(
             ParetoPoint(
                 label=design.config.describe(),
                 area=design.area_mm2,
-                performance=aipc,
+                performance=float(aipc),
                 payload=design.config,
             )
         )
@@ -241,8 +324,6 @@ def tune_workload(
 ) -> TuningResult:
     """One Table 4 row: sweep k against an (effectively) infinite
     matching table, then oversubscribe to find u_opt."""
-    from ..sim.engine import SimulationDeadlock
-
     workload = get(workload_name)
     kwargs = {"threads": threads} if workload.multithreaded else {}
     static_size = len(workload.instantiate(scale=scale, threads=threads))
@@ -273,11 +354,18 @@ def scaling_study(
     scale: Scale = Scale.SMALL,
     names: Sequence[str] = SPLASH_NAMES,
     designs: Optional[Sequence[DesignPoint]] = None,
+    *,
+    ledger_path=None,
+    resume: bool = False,
 ) -> tuple[ScalingStudy, dict[str, float]]:
     """Reproduce the a/b/c/d/e analysis; returns the study plus the
-    measured AIPC of each named design."""
+    measured AIPC of each named design.  ``ledger_path``/``resume``
+    checkpoint the design-space pass through the sweep harness."""
     designs = list(designs) if designs is not None else viable_designs()
-    points = evaluate_design_space(designs, names, scale, threaded=True)
+    points = evaluate_design_space(
+        designs, names, scale, threaded=True,
+        ledger_path=ledger_path, resume=resume,
+    )
 
     def perf_of(config: WaveScalarConfig) -> float:
         return suite_mean_aipc(config, names, scale, threaded=True)

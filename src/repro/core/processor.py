@@ -68,12 +68,15 @@ class WaveScalarProcessor:
         k: Optional[int] = None,
         strict: bool = True,
         threads: Optional[int] = None,
+        faults=None,
     ) -> SimulationResult:
         """Execute ``graph`` and return the full result bundle.
 
         ``k`` rebinds every loop's k-loop bound before execution
         (Table 4 tuning); ``strict`` raises on deadlock rather than
-        returning a partial result.
+        returning a partial result; ``faults`` attaches a
+        :class:`~repro.harness.faults.FaultPlan` for deterministic
+        fault injection (harness testing).
         """
         if k is not None:
             graph = set_k_bound(graph, k)
@@ -83,6 +86,8 @@ class WaveScalarProcessor:
             graph, self.config, placement, max_cycles=self.max_cycles,
             max_events=self.max_events,
         )
+        if faults is not None:
+            engine.faults = faults
         stats = engine.run(strict=strict)
         return SimulationResult(
             program=graph.name,
@@ -101,18 +106,22 @@ class WaveScalarProcessor:
         k: Optional[int] = None,
         seed: int = 0,
         check: bool = True,
+        faults=None,
     ) -> SimulationResult:
         """Instantiate and execute one registry workload.
 
         With ``check`` (default) the architectural outputs are compared
         against the workload's pure-Python reference; a mismatch raises
         ``AssertionError`` -- a simulator correctness bug, never a
-        performance matter.
+        performance matter.  An active ``faults`` plan skips the check:
+        injected faults corrupt outputs by design.
         """
         graph = workload.instantiate(
             scale=scale, threads=threads, k=k, seed=seed
         )
-        result = self.run(graph, threads=threads)
+        result = self.run(graph, threads=threads, faults=faults)
+        if faults is not None:
+            check = False
         if check:
             expected = workload.expected(
                 scale=scale, threads=threads, seed=seed

@@ -1,0 +1,74 @@
+"""Fault-tolerant sweep harness.
+
+Long design-space campaigns (Figures 6-7, Table 5) must tolerate and
+account for individual cell failures instead of restarting from zero.
+This package provides the pieces:
+
+* :mod:`repro.sim.failures` (re-exported here) -- the failure
+  taxonomy: true deadlock vs cycle/event budget exhaustion vs
+  watchdog timeout vs worker crash, each carrying diagnostics;
+* :class:`~repro.harness.spec.CellSpec` -- a content-hashed
+  ``(config, workload, threads, budgets, ...)`` unit of work;
+* :class:`~repro.harness.supervisor.RunSupervisor` -- subprocess
+  isolation, a wall-clock watchdog, and bounded retry with escalated
+  budgets for transient failures;
+* :class:`~repro.harness.ledger.Ledger` -- crash-safe JSONL
+  checkpointing keyed by cell hash, enabling ``resume``;
+* :func:`~repro.harness.sweep.design_space_sweep` -- the resumable
+  Pareto-evaluation loop used by ``python -m repro sweep``;
+* :class:`~repro.harness.faults.FaultPlan` -- deterministic fault
+  injection proving each failure class is caught and classified.
+"""
+
+from ..sim.failures import (
+    FAILURE_CLASSES,
+    CycleBudgetExhausted,
+    EventBudgetExhausted,
+    FailureDiagnostics,
+    SimulationDeadlock,
+    SimulationFailure,
+    TrueDeadlock,
+    WatchdogTimeout,
+    WorkerCrash,
+    classify,
+    is_transient,
+)
+from .faults import FaultPlan
+from .ledger import Ledger, open_ledger, summarize
+from .spec import SWEEP_MAX_CYCLES, SWEEP_MAX_EVENTS, CellSpec
+from .supervisor import (
+    DEFAULT_TIMEOUT_S,
+    CellResult,
+    RunSupervisor,
+    execute_cell,
+)
+from .sweep import CellFailure, SweepReport, design_space_sweep, sweep_cells
+
+__all__ = [
+    "CellFailure",
+    "CellResult",
+    "CellSpec",
+    "CycleBudgetExhausted",
+    "DEFAULT_TIMEOUT_S",
+    "EventBudgetExhausted",
+    "FAILURE_CLASSES",
+    "FailureDiagnostics",
+    "FaultPlan",
+    "Ledger",
+    "RunSupervisor",
+    "SimulationDeadlock",
+    "SimulationFailure",
+    "SWEEP_MAX_CYCLES",
+    "SWEEP_MAX_EVENTS",
+    "SweepReport",
+    "TrueDeadlock",
+    "WatchdogTimeout",
+    "WorkerCrash",
+    "classify",
+    "design_space_sweep",
+    "execute_cell",
+    "is_transient",
+    "open_ledger",
+    "summarize",
+    "sweep_cells",
+]

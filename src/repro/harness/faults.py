@@ -1,0 +1,73 @@
+"""Deterministic fault injection for the simulation engine.
+
+A :class:`FaultPlan` attached to an :class:`~repro.sim.engine.Engine`
+(``engine.faults = plan``, or threaded through
+``WaveScalarProcessor.run_workload(..., faults=plan)``) perturbs a run
+in a reproducible way.  Each knob exists to force exactly one class of
+the failure taxonomy, so the supervisor's catch/classify/retry logic
+can be proven against real failures instead of mocks:
+
+===========================  =======================================
+knob                         failure class it provokes
+===========================  =======================================
+``drop_every_n``             :class:`~repro.sim.failures.TrueDeadlock`
+                             (a partner token never arrives)
+``stall_pe``                 :class:`~repro.sim.failures.TrueDeadlock`
+                             (one tile goes dark)
+``max_cycles``               :class:`~repro.sim.failures
+                             .CycleBudgetExhausted`
+``max_events``               :class:`~repro.sim.failures
+                             .EventBudgetExhausted`
+``wall_sleep_per_event_s``   :class:`~repro.sim.failures
+                             .WatchdogTimeout` (supervisor kills the
+                             hung worker)
+===========================  =======================================
+
+Everything is counter-based -- no randomness -- so a plan injects the
+same faults at the same points on every run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One deterministic fault-injection configuration."""
+
+    #: Swallow every Nth operand delivery (after ``drop_after``).
+    drop_every_n: Optional[int] = None
+    #: Deliveries to let through before ``drop_every_n`` engages.
+    drop_after: int = 0
+    #: Swallow every operand destined for this PE.
+    stall_pe: Optional[int] = None
+    #: Override the engine's simulated-cycle budget (starvation).
+    max_cycles: Optional[int] = None
+    #: Override the engine's event budget (starvation).
+    max_events: Optional[int] = None
+    #: Sleep this long per processed event -- simulates a hung or
+    #: pathologically slow worker for watchdog testing.
+    wall_sleep_per_event_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.drop_every_n is not None and self.drop_every_n < 1:
+            raise ValueError("drop_every_n must be >= 1")
+        if self.wall_sleep_per_event_s < 0:
+            raise ValueError("wall_sleep_per_event_s cannot be negative")
+
+    @property
+    def active(self) -> bool:
+        return any(
+            v is not None and v != 0 and v != 0.0
+            for v in asdict(self).values()
+        )
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        known = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in data.items() if k in known})

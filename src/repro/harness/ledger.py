@@ -1,0 +1,104 @@
+"""Append-only JSONL checkpointing for sweeps.
+
+Every completed cell -- success or classified failure -- becomes one
+JSON line keyed by the cell's content hash.  Appends are flushed and
+fsynced, so a SIGKILL of the driver loses at most the line being
+written; :meth:`Ledger.load` tolerates a truncated final line for
+exactly that reason.  Resuming a sweep is then just "skip every cell
+whose hash already has a record".
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Optional
+
+from .spec import CellSpec
+
+#: Record schema version, bumped on incompatible changes.
+LEDGER_VERSION = 1
+
+
+class Ledger:
+    """One results ledger file (created lazily on first append)."""
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+
+    # ------------------------------------------------------------------
+    def load(self) -> dict[str, dict]:
+        """All records keyed by cell hash; the last record for a hash
+        wins, and a torn trailing line (killed mid-write) is skipped."""
+        records: dict[str, dict] = {}
+        if not self.path.exists():
+            return records
+        with self.path.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn write at the kill point
+                cell = record.get("hash")
+                if cell:
+                    records[cell] = record
+        return records
+
+    def append(self, record: dict) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(record, sort_keys=True)
+        with self.path.open("a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def __len__(self) -> int:
+        return len(self.load())
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def record_for(spec: CellSpec, result) -> dict:
+        """Serialise a supervisor :class:`~repro.harness.supervisor
+        .CellResult` into one ledger record."""
+        record = {
+            "version": LEDGER_VERSION,
+            "hash": spec.cell_hash(),
+            "status": result.status,
+            "workload": spec.workload,
+            "config": spec.config.describe(),
+            "threads": spec.threads,
+            "attempts": result.attempts,
+            "retries": result.retries,
+            "wall_s": round(result.wall_s, 3),
+            "ts": time.time(),
+            "spec": spec.as_dict(),
+        }
+        if result.status == "ok":
+            record.update(result.outcome)
+            record["status"] = "ok"  # outcome dict also carries status
+        else:
+            record["failure_class"] = result.failure_class
+            record["failure_detail"] = result.failure_detail
+            if result.diagnostics is not None:
+                record["diagnostics"] = result.diagnostics
+        return record
+
+
+def summarize(records: dict[str, dict]) -> dict[str, int]:
+    """Status counts over a loaded ledger (for reports and tests)."""
+    counts: dict[str, int] = {}
+    for record in records.values():
+        counts[record.get("status", "?")] = \
+            counts.get(record.get("status", "?"), 0) + 1
+    return counts
+
+
+def open_ledger(path) -> Optional[Ledger]:
+    """``Ledger(path)`` or ``None`` for a falsy path -- callers can
+    thread an optional ledger argument straight through."""
+    return Ledger(path) if path else None

@@ -1,0 +1,89 @@
+"""Cell specifications: the unit of work a sweep schedules.
+
+One *cell* is one ``(config, workload, threads)`` simulation with all
+parameters pinned -- scale, k-bound, seed, cycle/event budgets, and
+any fault plan.  Its :meth:`~CellSpec.cell_hash` is a content hash of
+the *complete* spec, so a results ledger keyed by it can never confuse
+a low-budget verdict with a high-budget request (the bug the old
+memoisation key had), and any change to the cell re-runs it on resume.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, replace
+from typing import Optional
+
+from ..core.config import WaveScalarConfig
+from .faults import FaultPlan
+
+#: Default sweep budgets, matching the historical
+#: ``suite_mean_aipc`` arguments (a starved configuration crawling
+#: through matching-table thrash scores zero rather than stalling the
+#: campaign).
+SWEEP_MAX_CYCLES = 5_000_000
+SWEEP_MAX_EVENTS = 1_000_000
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One fully pinned simulation cell."""
+
+    config: WaveScalarConfig
+    workload: str
+    scale: str = "small"  # Scale.value, kept a str for JSON round-trips
+    threads: Optional[int] = None
+    k: Optional[int] = None
+    seed: int = 0
+    max_cycles: int = SWEEP_MAX_CYCLES
+    max_events: int = SWEEP_MAX_EVENTS
+    faults: Optional[FaultPlan] = None
+
+    def as_dict(self) -> dict:
+        return {
+            "config": asdict(self.config),
+            "workload": self.workload,
+            "scale": self.scale,
+            "threads": self.threads,
+            "k": self.k,
+            "seed": self.seed,
+            "max_cycles": self.max_cycles,
+            "max_events": self.max_events,
+            "faults": self.faults.to_dict() if self.faults else None,
+        }
+
+    def cell_hash(self) -> str:
+        """Stable content hash over every field, budgets included."""
+        canonical = json.dumps(
+            self.as_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+    def escalated(self, factor: float) -> "CellSpec":
+        """The same cell with both budgets scaled up (retry policy)."""
+        return replace(
+            self,
+            max_cycles=int(self.max_cycles * factor),
+            max_events=int(self.max_events * factor),
+        )
+
+    def describe(self) -> str:
+        threads = f" x{self.threads}thr" if self.threads else ""
+        return f"{self.workload}@{self.scale}{threads} on " \
+               f"{self.config.describe()}"
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CellSpec":
+        faults = data.get("faults")
+        return cls(
+            config=WaveScalarConfig(**data["config"]),
+            workload=data["workload"],
+            scale=data.get("scale", "small"),
+            threads=data.get("threads"),
+            k=data.get("k"),
+            seed=data.get("seed", 0),
+            max_cycles=data.get("max_cycles", SWEEP_MAX_CYCLES),
+            max_events=data.get("max_events", SWEEP_MAX_EVENTS),
+            faults=FaultPlan.from_dict(faults) if faults else None,
+        )

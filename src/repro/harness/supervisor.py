@@ -1,0 +1,224 @@
+"""Process-isolated, watchdogged execution of one sweep cell.
+
+The supervisor is what lets a 41-configuration Pareto campaign survive
+one pathological cell: each ``(config, workload, threads)`` runs in a
+subprocess with a wall-clock watchdog, failures come back classified
+(the :mod:`repro.sim.failures` taxonomy), and budget-exhaustion
+failures are retried a bounded number of times with escalated budgets
+before being recorded as failed.  A hung or crashed worker can never
+stall the driver: the watchdog kills it and the cell is recorded as
+:class:`~repro.sim.failures.WatchdogTimeout` /
+:class:`~repro.sim.failures.WorkerCrash`.
+
+``isolation="inline"`` runs cells in-process (no watchdog, no kill
+protection) for fast tests and interactive use.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..sim.failures import (
+    SimulationDeadlock,
+    WatchdogTimeout,
+    WorkerCrash,
+    is_transient,
+)
+from .spec import CellSpec
+
+#: Default wall-clock allowance per attempt, chosen far above any
+#: budgeted tiny/small-scale cell (seconds).
+DEFAULT_TIMEOUT_S = 300.0
+
+
+def execute_cell(spec: CellSpec) -> dict:
+    """Run one cell to completion in the current process.
+
+    Returns the flat, JSON-serialisable success payload; failures
+    propagate as taxonomy exceptions for the caller to classify.
+    """
+    from ..core.processor import WaveScalarProcessor
+    from ..workloads.base import Scale
+    from ..workloads.registry import get
+
+    workload = get(spec.workload)
+    threads = spec.threads if workload.multithreaded else None
+    proc = WaveScalarProcessor(
+        spec.config, max_cycles=spec.max_cycles,
+        max_events=spec.max_events,
+    )
+    result = proc.run_workload(
+        workload, scale=Scale(spec.scale), threads=threads, k=spec.k,
+        seed=spec.seed, faults=spec.faults,
+    )
+    return {
+        "status": "ok",
+        "aipc": result.aipc,
+        "ipc": result.ipc,
+        "cycles": result.cycles,
+        "area_mm2": result.area_mm2,
+        "dynamic_instructions": result.stats.dynamic_instructions,
+        "alpha_instructions": result.stats.alpha_instructions,
+    }
+
+
+def _child_main(spec: CellSpec, channel) -> None:
+    """Subprocess entry point: run the cell, ship back one dict."""
+    try:
+        payload = execute_cell(spec)
+    except SimulationDeadlock as exc:
+        diagnostics = getattr(exc, "diagnostics", None)
+        payload = {
+            "status": "failed",
+            "failure_class": type(exc).__name__,
+            "failure_detail": str(exc).splitlines()[0] if str(exc) else "",
+            "diagnostics": diagnostics.to_dict() if diagnostics else None,
+        }
+    except Exception as exc:  # noqa: BLE001 - anything else is a crash
+        payload = {
+            "status": "failed",
+            "failure_class": type(exc).__name__,
+            "failure_detail": f"{type(exc).__name__}: {exc}",
+            "diagnostics": None,
+        }
+    channel.put(payload)
+
+
+@dataclass
+class CellResult:
+    """The supervisor's verdict on one cell (after retries)."""
+
+    spec: CellSpec  # the final spec attempted (post-escalation)
+    status: str  # "ok" | "failed"
+    attempts: int = 1
+    retries: int = 0
+    wall_s: float = 0.0
+    outcome: dict = field(default_factory=dict)  # success payload
+    failure_class: Optional[str] = None
+    failure_detail: Optional[str] = None
+    diagnostics: Optional[dict] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def aipc(self) -> float:
+        return self.outcome.get("aipc", 0.0)
+
+
+class RunSupervisor:
+    """Executes cells with isolation, a watchdog, and retry policy."""
+
+    def __init__(
+        self,
+        timeout_s: Optional[float] = DEFAULT_TIMEOUT_S,
+        max_retries: int = 2,
+        escalation: float = 4.0,
+        isolation: str = "process",
+        mp_context: Optional[str] = None,
+    ) -> None:
+        if isolation not in ("process", "inline"):
+            raise ValueError(f"unknown isolation {isolation!r}")
+        if escalation <= 1.0:
+            raise ValueError("escalation factor must exceed 1")
+        self.timeout_s = timeout_s
+        self.max_retries = max_retries
+        self.escalation = escalation
+        self.isolation = isolation
+        if mp_context is None:
+            # fork is near-free on Linux; fall back where unavailable.
+            mp_context = (
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else "spawn"
+            )
+        self._ctx = multiprocessing.get_context(mp_context)
+
+    # ------------------------------------------------------------------
+    def run(self, spec: CellSpec) -> CellResult:
+        """One cell through the full policy: attempt, classify, and
+        retry transient budget failures with escalated budgets."""
+        started = time.monotonic()
+        attempts = 0
+        while True:
+            attempts += 1
+            payload = self._attempt(spec)
+            if payload["status"] == "ok":
+                return CellResult(
+                    spec=spec, status="ok", attempts=attempts,
+                    retries=attempts - 1,
+                    wall_s=time.monotonic() - started, outcome=payload,
+                )
+            failure_class = payload.get("failure_class", "WorkerCrash")
+            if is_transient(failure_class) and \
+                    attempts <= self.max_retries:
+                # A bigger budget may complete; true deadlocks and
+                # watchdog kills are not retried (deterministic or
+                # already at the wall-clock limit).
+                spec = spec.escalated(self.escalation)
+                continue
+            return CellResult(
+                spec=spec, status="failed", attempts=attempts,
+                retries=attempts - 1,
+                wall_s=time.monotonic() - started,
+                failure_class=failure_class,
+                failure_detail=payload.get("failure_detail"),
+                diagnostics=payload.get("diagnostics"),
+            )
+
+    # ------------------------------------------------------------------
+    def _attempt(self, spec: CellSpec) -> dict:
+        if self.isolation == "inline":
+            return self._attempt_inline(spec)
+        return self._attempt_process(spec)
+
+    @staticmethod
+    def _attempt_inline(spec: CellSpec) -> dict:
+        try:
+            return execute_cell(spec)
+        except SimulationDeadlock as exc:
+            diagnostics = getattr(exc, "diagnostics", None)
+            return {
+                "status": "failed",
+                "failure_class": type(exc).__name__,
+                "failure_detail":
+                    str(exc).splitlines()[0] if str(exc) else "",
+                "diagnostics":
+                    diagnostics.to_dict() if diagnostics else None,
+            }
+
+    def _attempt_process(self, spec: CellSpec) -> dict:
+        channel = self._ctx.SimpleQueue()
+        worker = self._ctx.Process(
+            target=_child_main, args=(spec, channel), daemon=True
+        )
+        worker.start()
+        worker.join(self.timeout_s)
+        try:
+            if worker.is_alive():
+                worker.kill()
+                worker.join()
+                return {
+                    "status": "failed",
+                    "failure_class": WatchdogTimeout.__name__,
+                    "failure_detail":
+                        f"{spec.describe()}: no result within "
+                        f"{self.timeout_s}s; worker killed",
+                    "diagnostics": None,
+                }
+            if channel.empty():
+                return {
+                    "status": "failed",
+                    "failure_class": WorkerCrash.__name__,
+                    "failure_detail":
+                        f"{spec.describe()}: worker exited "
+                        f"{worker.exitcode} without a result",
+                    "diagnostics": None,
+                }
+            return channel.get()
+        finally:
+            channel.close()

@@ -1,0 +1,199 @@
+"""Checkpointed design-space sweeps.
+
+Turns a design list x workload suite into individual
+``(config, workload, threads)`` cells, runs each through a
+:class:`~repro.harness.supervisor.RunSupervisor`, and appends every
+verdict to a JSONL :class:`~repro.harness.ledger.Ledger`.  Because
+cells are keyed by content hash, an interrupted campaign -- even one
+whose driver was SIGKILLed -- resumes with ``resume=True`` and
+re-simulates nothing that already has a record.
+
+Aggregation mirrors the paper's method (and the historical in-process
+code path): per workload the best-performing thread count wins, a
+failed workload scores zero AIPC, and a design's suite score is the
+mean over workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Sequence
+
+from ..design.pareto import ParetoPoint
+from ..design.space import DesignPoint
+from ..workloads.base import Scale
+from .ledger import Ledger
+from .spec import SWEEP_MAX_CYCLES, SWEEP_MAX_EVENTS, CellSpec
+from .supervisor import CellResult, RunSupervisor
+
+
+@dataclass
+class CellFailure:
+    """One workload that scored zero on one design, and why."""
+
+    config: str
+    workload: str
+    threads: Optional[int]
+    failure_class: str
+    detail: str = ""
+
+    def render(self) -> str:
+        threads = f" x{self.threads}thr" if self.threads else ""
+        return (
+            f"{self.workload}{threads} on {self.config}: "
+            f"{self.failure_class}"
+            + (f" ({self.detail})" if self.detail else "")
+        )
+
+
+@dataclass
+class SweepReport:
+    """Cell accounting for one sweep invocation."""
+
+    completed: int = 0  # cells simulated to success this run
+    failed: int = 0  # cells recorded as failed this run
+    retried: int = 0  # total retry attempts across cells
+    skipped: int = 0  # cells resumed from the ledger, not re-simulated
+    failures: list[CellFailure] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return self.completed + self.failed + self.skipped
+
+    def summary(self) -> str:
+        return (
+            f"cells: {self.completed} completed / {self.failed} failed "
+            f"/ {self.retried} retried / {self.skipped} resumed "
+            f"({self.total} total)"
+        )
+
+
+def _cell_record(
+    spec: CellSpec,
+    done: dict[str, dict],
+    supervisor: RunSupervisor,
+    ledger: Optional[Ledger],
+    report: SweepReport,
+    progress: Optional[Callable[[CellSpec, dict], None]],
+) -> dict:
+    """Run (or resume) one cell and account for it."""
+    cell = spec.cell_hash()
+    record = done.get(cell)
+    if record is not None:
+        report.skipped += 1
+    else:
+        result: CellResult = supervisor.run(spec)
+        record = Ledger.record_for(spec, result)
+        if ledger is not None:
+            ledger.append(record)
+        done[cell] = record
+        report.retried += result.retries
+        if result.ok:
+            report.completed += 1
+        else:
+            report.failed += 1
+    if progress is not None:
+        progress(spec, record)
+    return record
+
+
+def sweep_cells(
+    specs: Iterable[CellSpec],
+    *,
+    ledger_path=None,
+    resume: bool = False,
+    supervisor: Optional[RunSupervisor] = None,
+    progress: Optional[Callable[[CellSpec, dict], None]] = None,
+) -> tuple[dict[str, dict], SweepReport]:
+    """Run an explicit cell list; returns (records by hash, report)."""
+    supervisor = supervisor or RunSupervisor()
+    ledger = Ledger(ledger_path) if ledger_path else None
+    done = ledger.load() if (ledger is not None and resume) else {}
+    report = SweepReport()
+    records: dict[str, dict] = {}
+    for spec in specs:
+        records[spec.cell_hash()] = _cell_record(
+            spec, done, supervisor, ledger, report, progress
+        )
+    return records, report
+
+
+def design_space_sweep(
+    designs: Sequence[DesignPoint],
+    names: Sequence[str],
+    scale: Scale = Scale.SMALL,
+    threaded: bool = False,
+    candidates: Sequence[int] = (1, 2, 4, 8, 16, 32, 64),
+    *,
+    ledger_path=None,
+    resume: bool = False,
+    timeout_s: Optional[float] = None,
+    isolation: str = "process",
+    max_retries: int = 2,
+    escalation: float = 4.0,
+    max_cycles: int = SWEEP_MAX_CYCLES,
+    max_events: int = SWEEP_MAX_EVENTS,
+    supervisor: Optional[RunSupervisor] = None,
+    progress: Optional[Callable[[CellSpec, dict], None]] = None,
+) -> tuple[list[ParetoPoint], SweepReport]:
+    """The fault-tolerant Figure 6/7 evaluation loop.
+
+    Every ``(design, workload, threads)`` cell runs supervised; the
+    returned points are identical in shape to
+    ``repro.core.experiments.evaluate_design_space``.
+    """
+    from ..core.experiments import feasible_thread_counts
+    from ..workloads.registry import get
+
+    if supervisor is None:
+        kwargs = {} if timeout_s is None else {"timeout_s": timeout_s}
+        supervisor = RunSupervisor(
+            max_retries=max_retries, escalation=escalation,
+            isolation=isolation, **kwargs,
+        )
+    ledger = Ledger(ledger_path) if ledger_path else None
+    done = ledger.load() if (ledger is not None and resume) else {}
+    report = SweepReport()
+    points: list[ParetoPoint] = []
+
+    for design in designs:
+        config = design.config
+        per_workload: list[float] = []
+        for name in names:
+            workload = get(name)
+            if threaded and workload.multithreaded:
+                thread_counts: Sequence[Optional[int]] = \
+                    feasible_thread_counts(workload, scale, candidates)
+            else:
+                thread_counts = (None,)
+            best: Optional[float] = None
+            for threads in thread_counts:
+                spec = CellSpec(
+                    config=config, workload=name, scale=scale.value,
+                    threads=threads, max_cycles=max_cycles,
+                    max_events=max_events,
+                )
+                record = _cell_record(
+                    spec, done, supervisor, ledger, report, progress
+                )
+                if record["status"] == "ok":
+                    aipc = record.get("aipc", 0.0)
+                    best = aipc if best is None else max(best, aipc)
+                else:
+                    report.failures.append(CellFailure(
+                        config=config.describe(), workload=name,
+                        threads=threads,
+                        failure_class=record.get("failure_class", "?"),
+                        detail=record.get("failure_detail") or "",
+                    ))
+                    # More threads only add pressure on a design that
+                    # already failed; stop probing upward.
+                    break
+            per_workload.append(best or 0.0)
+        aipc = sum(per_workload) / len(per_workload) if per_workload \
+            else 0.0
+        points.append(ParetoPoint(
+            label=config.describe(), area=design.area_mm2,
+            performance=aipc, payload=config,
+        ))
+    return points, report

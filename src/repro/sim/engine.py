@@ -21,6 +21,7 @@ every workload.
 from __future__ import annotations
 
 import heapq
+import time
 from typing import Optional
 
 from ..core.config import WaveScalarConfig
@@ -29,6 +30,13 @@ from ..isa.opcodes import Opcode
 from ..isa.semantics import evaluate, steer_taken
 from ..isa.token import Value
 from ..place.placement import Placement
+from .failures import (
+    CycleBudgetExhausted,
+    EventBudgetExhausted,
+    FailureDiagnostics,
+    SimulationDeadlock,
+    TrueDeadlock,
+)
 from .memory.hierarchy import MemoryHierarchy
 from .network.topology import BandwidthLedger, Interconnect
 from .pe.istore import InstructionStore
@@ -36,9 +44,15 @@ from .pe.matching import MatchingTable
 from .stats import SimStats
 from .storebuffer.storebuffer import MemOp, StoreBuffer
 
-
-class SimulationDeadlock(RuntimeError):
-    """Raised when the machine stops with work still buffered."""
+__all__ = [
+    "Engine",
+    "SimulationDeadlock",
+    "TrueDeadlock",
+    "CycleBudgetExhausted",
+    "EventBudgetExhausted",
+    "FailureDiagnostics",
+    "simulate",
+]
 
 
 class Engine:
@@ -144,6 +158,14 @@ class Engine:
         #: before run().  None keeps the hot path branch-cheap.
         self.trace = None
 
+        #: Optional fault-injection plan (repro.harness.faults
+        #: .FaultPlan, duck-typed so the simulator stays free of
+        #: harness imports); attach before run().  None keeps the hot
+        #: path branch-cheap.
+        self.faults = None
+        self._fault_deliveries = 0
+        self._events_processed = 0
+
     # ==================================================================
     # Event plumbing
     # ==================================================================
@@ -159,6 +181,16 @@ class Engine:
     # Main loop
     # ==================================================================
     def run(self, strict: bool = True) -> SimStats:
+        faults = self.faults
+        fault_sleep = 0.0
+        if faults is not None:
+            # Budget starvation: a fault plan may clamp the budgets to
+            # force the exhaustion paths deterministically.
+            if faults.max_cycles is not None:
+                self.max_cycles = faults.max_cycles
+            if faults.max_events is not None:
+                self.max_events = faults.max_events
+            fault_sleep = faults.wall_sleep_per_event_s
         for token in self.graph.entry_tokens:
             pe = self.placement.pe_of[token.inst]
             self._post(
@@ -172,15 +204,21 @@ class Engine:
         while events:
             cycle, _, tag, payload = heapq.heappop(events)
             if cycle > self.max_cycles:
-                raise SimulationDeadlock(
-                    f"{self.graph.name}: exceeded {self.max_cycles} cycles"
+                self._events_processed = processed
+                raise CycleBudgetExhausted(
+                    f"{self.graph.name}: exceeded {self.max_cycles} cycles",
+                    self.failure_diagnostics(),
                 )
             processed += 1
             if processed > max_events:
-                raise SimulationDeadlock(
+                self._events_processed = processed
+                raise EventBudgetExhausted(
                     f"{self.graph.name}: exceeded {max_events} events at "
-                    f"cycle {cycle} (thrashing)"
+                    f"cycle {cycle} (thrashing)",
+                    self.failure_diagnostics(),
                 )
+            if fault_sleep:
+                time.sleep(fault_sleep)
             self._note_time(cycle)
             if tag == "token":
                 self._on_token(cycle, *payload)
@@ -200,9 +238,33 @@ class Engine:
                 raise AssertionError(f"unknown event {tag}")
 
         self.stats.cycles = self._horizon
+        self._events_processed = processed
         if strict:
             self._check_quiescent()
         return self.stats
+
+    def failure_diagnostics(self) -> FailureDiagnostics:
+        """A structured snapshot of buffered work, attached to every
+        engine-raised failure (and cheap enough to call ad hoc)."""
+        matching_rows = sum(
+            len(table.pending_rows()) for table in self.matching
+        )
+        ifetch_queued = sum(len(q) for q in self._ifetch.values())
+        kbound = sum(len(s) for s in self._kbound_stalls.values())
+        return FailureDiagnostics(
+            cycles=self._horizon,
+            events_processed=self._events_processed,
+            events_pending=len(self._events),
+            tokens_in_flight=matching_rows + ifetch_queued,
+            queue_depths={
+                "matching_rows": matching_rows,
+                "ifetch_queued": ifetch_queued,
+                "kbound_stalls": kbound,
+                "event_calendar": len(self._events),
+            },
+            max_cycles=self.max_cycles,
+            max_events=self.max_events,
+        )
 
     def _check_quiescent(self) -> None:
         problems = []
@@ -225,9 +287,10 @@ class Engine:
                     "wave advances"
                 )
         if problems:
-            raise SimulationDeadlock(
+            raise TrueDeadlock(
                 f"{self.graph.name}: deadlocked with buffered work:\n"
-                + "\n".join(problems[:12])
+                + "\n".join(problems[:12]),
+                self.failure_diagnostics(),
             )
 
     # ==================================================================
@@ -496,8 +559,14 @@ class Engine:
         spec_pod = (
             bypass_from is not None and self.config.speculative_fire
         )
+        faults = self.faults
         for dest in dests:
             dst_pe = self.placement.pe_of[dest.inst]
+            if faults is not None and self._fault_drops(faults, dst_pe):
+                if self.trace is not None:
+                    self.trace.emit(cycle, "fault_drop", src_pe, dest.inst,
+                                    thread, wave)
+                continue
             route = self.network.route(src_pe, dst_pe, cycle, "operand")
             arrive = cycle + route.latency
             if spec_pod and route.level == "pod":
@@ -513,6 +582,20 @@ class Engine:
                 (dst_pe, thread, wave, dest.inst, dest.port, value,
                  route.level == "pod"),
             )
+
+    def _fault_drops(self, faults, dst_pe: int) -> bool:
+        """Deterministic fault-injection filter for operand delivery:
+        swallow tokens bound for a stalled PE, and every Nth delivery
+        once ``drop_after`` deliveries have passed."""
+        if faults.stall_pe is not None and dst_pe == faults.stall_pe:
+            return True
+        if faults.drop_every_n is not None:
+            self._fault_deliveries += 1
+            count = self._fault_deliveries
+            if count > faults.drop_after and \
+                    count % faults.drop_every_n == 0:
+                return True
+        return False
 
     # ==================================================================
     # Memory interface (MEM pseudo-PE <-> store buffer)

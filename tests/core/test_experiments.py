@@ -103,6 +103,76 @@ def test_cache_distinguishes_parameters():
     assert a is not b
 
 
+def test_cache_distinguishes_budgets():
+    """A verdict reached under a small budget must not be reused for a
+    request with a larger one (the old key omitted the budgets)."""
+    from repro.sim.failures import CycleBudgetExhausted
+
+    with pytest.raises(CycleBudgetExhausted):
+        run_cached(CFG, "mcf", Scale.TINY, max_cycles=50)
+    # The full-budget request runs fresh and succeeds.
+    result = run_cached(CFG, "mcf", Scale.TINY)
+    assert result.aipc > 0
+
+
+def test_cache_stores_negative_results():
+    """A known-failing cell re-raises from cache instead of
+    re-simulating."""
+    from repro.core import experiments
+    from repro.sim.failures import CycleBudgetExhausted
+
+    with pytest.raises(CycleBudgetExhausted) as first:
+        run_cached(CFG, "mcf", Scale.TINY, max_cycles=50)
+    populated = dict(experiments._CACHE)
+    with pytest.raises(CycleBudgetExhausted) as second:
+        run_cached(CFG, "mcf", Scale.TINY, max_cycles=50)
+    assert second.value is first.value  # served from cache
+    assert experiments._CACHE == populated  # no new entries
+
+
+def test_suite_mean_reports_failures():
+    """Zero-scored workloads are recorded on the returned value, not
+    silently swallowed."""
+    mean = suite_mean_aipc(
+        CFG, ("mcf",), Scale.TINY, sweep_max_cycles=50
+    )
+    assert float(mean) == 0.0
+    assert len(mean.failures) == 1
+    failure = mean.failures[0]
+    assert failure.workload == "mcf"
+    assert failure.failure_class == "CycleBudgetExhausted"
+    assert failure.max_cycles == 50
+    assert "CycleBudgetExhausted" in failure.render()
+    # Successful suites carry an empty report and stay float-like.
+    ok = suite_mean_aipc(CFG, ("mcf",), Scale.TINY)
+    assert ok.failures == ()
+    assert ok > 0 and isinstance(ok, float)
+
+
+def test_evaluate_design_space_with_ledger(tmp_path):
+    """The harness-backed path produces the same points as the
+    in-process path and resumes from its ledger."""
+    from repro.area.model import chip_area
+    from repro.harness import Ledger
+
+    designs = [DesignPoint(config=CFG, area_mm2=chip_area(CFG))]
+    baseline = evaluate_design_space(designs, ("mcf",), Scale.TINY)
+    path = tmp_path / "runs.jsonl"
+    points = evaluate_design_space(
+        designs, ("mcf",), Scale.TINY,
+        ledger_path=path, isolation="inline",
+    )
+    assert points[0].performance == \
+        pytest.approx(baseline[0].performance)
+    assert len(Ledger(path).load()) == 1
+    resumed = evaluate_design_space(
+        designs, ("mcf",), Scale.TINY,
+        ledger_path=path, resume=True, isolation="inline",
+    )
+    assert resumed[0].performance == \
+        pytest.approx(baseline[0].performance)
+
+
 def test_front_of_evaluated_points_is_consistent():
     designs = [
         DesignPoint(config=c, area_mm2=chip_area(c))

@@ -1,0 +1,100 @@
+"""Deterministic fault injection provokes exactly the advertised
+failure class."""
+
+import pytest
+
+from repro.core import WaveScalarConfig, WaveScalarProcessor
+from repro.core.config import BASELINE
+from repro.harness import FaultPlan
+from repro.place.snake import place
+from repro.sim.engine import Engine
+from repro.sim.failures import (
+    CycleBudgetExhausted,
+    EventBudgetExhausted,
+    TrueDeadlock,
+)
+from repro.workloads import Scale, get
+
+from ..conftest import build_counted_sum
+
+
+def run_with_faults(graph, plan, config=BASELINE):
+    engine = Engine(graph, config, place(graph, config))
+    engine.faults = plan
+    return engine.run()
+
+
+def test_dropped_tokens_cause_true_deadlock():
+    graph, _ = build_counted_sum(20, k=4)
+    with pytest.raises(TrueDeadlock) as info:
+        run_with_faults(graph, FaultPlan(drop_every_n=3))
+    assert info.value.diagnostics.tokens_in_flight >= 1
+
+
+def test_drop_injection_is_deterministic():
+    """The same plan fails identically on every run."""
+    snapshots = []
+    for _ in range(2):
+        graph, _ = build_counted_sum(20, k=4)
+        with pytest.raises(TrueDeadlock) as info:
+            run_with_faults(graph, FaultPlan(drop_every_n=3))
+        snapshots.append(info.value.diagnostics)
+    assert snapshots[0] == snapshots[1]
+
+
+def test_stalled_pe_causes_true_deadlock():
+    graph, _ = build_counted_sum(20, k=4)
+    placement = place(graph, BASELINE)
+    busy_pe = max(
+        set(placement.pe_of.values()),
+        key=lambda pe: len(placement.assigned.get(pe, [])),
+    )
+    with pytest.raises(TrueDeadlock):
+        engine = Engine(graph, BASELINE, placement)
+        engine.faults = FaultPlan(stall_pe=busy_pe)
+        engine.run()
+
+
+def test_budget_starvation_cycles():
+    graph, _ = build_counted_sum(30, k=4)
+    with pytest.raises(CycleBudgetExhausted) as info:
+        run_with_faults(graph, FaultPlan(max_cycles=20))
+    # The fault override, not the constructor default, is reported.
+    assert info.value.diagnostics.max_cycles == 20
+
+
+def test_budget_starvation_events():
+    graph, _ = build_counted_sum(30, k=4)
+    with pytest.raises(EventBudgetExhausted) as info:
+        run_with_faults(graph, FaultPlan(max_events=15))
+    assert info.value.diagnostics.max_events == 15
+
+
+def test_drop_after_defers_injection():
+    """A drop threshold beyond the program's delivery count is a
+    no-op: the run completes with correct outputs."""
+    graph, expected = build_counted_sum(8, k=2)
+    stats = run_with_faults(
+        graph, FaultPlan(drop_every_n=2, drop_after=10**9)
+    )
+    assert stats.output_values() == [expected]
+
+
+def test_faults_thread_through_processor():
+    proc = WaveScalarProcessor(WaveScalarConfig(clusters=1, l2_mb=1))
+    with pytest.raises(CycleBudgetExhausted):
+        proc.run_workload(
+            get("mcf"), scale=Scale.TINY,
+            faults=FaultPlan(max_cycles=50),
+        )
+
+
+def test_fault_plan_validation_and_round_trip():
+    with pytest.raises(ValueError):
+        FaultPlan(drop_every_n=0)
+    with pytest.raises(ValueError):
+        FaultPlan(wall_sleep_per_event_s=-1.0)
+    plan = FaultPlan(drop_every_n=5, stall_pe=3, max_cycles=100)
+    assert plan.active
+    assert FaultPlan.from_dict(plan.to_dict()) == plan
+    assert not FaultPlan().active

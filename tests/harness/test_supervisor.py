@@ -1,0 +1,156 @@
+"""The run supervisor: classification, retry policy, watchdog."""
+
+import pytest
+
+from repro.core import WaveScalarConfig
+from repro.harness import (
+    CellSpec,
+    FaultPlan,
+    RunSupervisor,
+    execute_cell,
+)
+
+CFG = WaveScalarConfig(clusters=1, l2_mb=1)
+
+
+def make_spec(**kwargs) -> CellSpec:
+    defaults = dict(config=CFG, workload="mcf", scale="tiny")
+    defaults.update(kwargs)
+    return CellSpec(**defaults)
+
+
+@pytest.fixture(scope="module")
+def reference_outcome():
+    """One unsupervised run for ground truth (cycles, aipc)."""
+    return execute_cell(make_spec())
+
+
+# ----------------------------------------------------------------------
+# Success paths
+# ----------------------------------------------------------------------
+def test_inline_success(reference_outcome):
+    result = RunSupervisor(isolation="inline").run(make_spec())
+    assert result.ok and result.status == "ok"
+    assert result.attempts == 1 and result.retries == 0
+    assert result.aipc == pytest.approx(reference_outcome["aipc"])
+
+
+def test_process_isolation_matches_inline(reference_outcome):
+    result = RunSupervisor(isolation="process", timeout_s=120).run(
+        make_spec()
+    )
+    assert result.ok
+    assert result.aipc == pytest.approx(reference_outcome["aipc"])
+    assert result.outcome["cycles"] == reference_outcome["cycles"]
+
+
+# ----------------------------------------------------------------------
+# Retry policy: transient budget failures escalate, others do not
+# ----------------------------------------------------------------------
+def test_budget_failure_retries_with_escalation(reference_outcome):
+    """A cell whose first budget is too small succeeds on retry."""
+    starved = make_spec(
+        max_cycles=max(2, reference_outcome["cycles"] // 2)
+    )
+    result = RunSupervisor(
+        isolation="inline", max_retries=2, escalation=4.0
+    ).run(starved)
+    assert result.ok
+    assert result.retries >= 1
+    # The recorded spec carries the escalated budget that worked.
+    assert result.spec.max_cycles > starved.max_cycles
+
+
+def test_persistent_starvation_exhausts_retries():
+    """A fault-clamped budget cannot be escalated away: the
+    supervisor retries its bounded number of times, then records."""
+    spec = make_spec(faults=FaultPlan(max_cycles=50))
+    result = RunSupervisor(isolation="inline", max_retries=2).run(spec)
+    assert not result.ok
+    assert result.failure_class == "CycleBudgetExhausted"
+    assert result.attempts == 3  # initial + 2 retries
+    assert result.diagnostics["max_cycles"] == 50
+
+
+def test_event_starvation_classified():
+    spec = make_spec(faults=FaultPlan(max_events=25))
+    result = RunSupervisor(isolation="inline", max_retries=1).run(spec)
+    assert not result.ok
+    assert result.failure_class == "EventBudgetExhausted"
+    assert result.attempts == 2
+
+
+def test_true_deadlock_not_retried():
+    """Deterministic failures are recorded immediately -- retrying a
+    deadlock only burns time."""
+    spec = make_spec(faults=FaultPlan(drop_every_n=3))
+    result = RunSupervisor(isolation="inline", max_retries=5).run(spec)
+    assert not result.ok
+    assert result.failure_class == "TrueDeadlock"
+    assert result.attempts == 1
+    assert result.diagnostics["tokens_in_flight"] >= 1
+
+
+# ----------------------------------------------------------------------
+# Watchdog + crash handling (subprocess isolation)
+# ----------------------------------------------------------------------
+def test_watchdog_kills_hung_worker():
+    spec = make_spec(faults=FaultPlan(wall_sleep_per_event_s=0.25))
+    result = RunSupervisor(
+        isolation="process", timeout_s=1.0, max_retries=3
+    ).run(spec)
+    assert not result.ok
+    assert result.failure_class == "WatchdogTimeout"
+    assert result.attempts == 1  # timeouts are not retried
+    assert "killed" in result.failure_detail
+
+
+def test_worker_crash_classified(monkeypatch):
+    """A worker that dies without reporting becomes WorkerCrash."""
+    import multiprocessing
+
+    if "fork" not in multiprocessing.get_all_start_methods():
+        pytest.skip("needs fork to inherit the monkeypatched worker")
+    import os
+
+    from repro.harness import supervisor as supervisor_mod
+
+    def die(spec):
+        os._exit(17)
+
+    monkeypatch.setattr(supervisor_mod, "execute_cell", die)
+    result = RunSupervisor(
+        isolation="process", timeout_s=60, mp_context="fork"
+    ).run(make_spec())
+    assert not result.ok
+    assert result.failure_class == "WorkerCrash"
+    assert "17" in result.failure_detail
+
+
+def test_unexpected_exception_classified_by_name():
+    """Non-taxonomy errors surface under their own class name."""
+    spec = make_spec(workload="no-such-workload")
+    result = RunSupervisor(isolation="process", timeout_s=60).run(spec)
+    assert not result.ok
+    assert result.failure_class == "KeyError"
+
+
+# ----------------------------------------------------------------------
+# Construction guards
+# ----------------------------------------------------------------------
+def test_supervisor_rejects_bad_arguments():
+    with pytest.raises(ValueError):
+        RunSupervisor(isolation="container")
+    with pytest.raises(ValueError):
+        RunSupervisor(escalation=1.0)
+
+
+def test_cell_hash_covers_budgets_and_faults():
+    base = make_spec()
+    assert base.cell_hash() != make_spec(max_cycles=1).cell_hash()
+    assert base.cell_hash() != make_spec(max_events=1).cell_hash()
+    assert base.cell_hash() != \
+        make_spec(faults=FaultPlan(drop_every_n=2)).cell_hash()
+    assert base.cell_hash() == make_spec().cell_hash()
+    # Round trip through the ledger representation.
+    assert CellSpec.from_dict(base.as_dict()) == base
