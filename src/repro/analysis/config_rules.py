@@ -1,0 +1,279 @@
+"""Static-analysis rules over processor configurations.
+
+``WaveScalarConfig.__post_init__`` rejects nonsense (negative sizes);
+these rules catch configurations that are *legal objects* but
+physically unrealizable or self-contradictory under the paper's
+models: over the 400 mm^2 die budget (Table 3), off the 20 FO4 clock
+target (Section 4.1), or with cache / store-buffer geometry that
+cannot work as specified.
+
+The sweep harness runs this registry before forking a worker for a
+cell, so a doomed configuration is recorded as ``invalid`` in the
+ledger instead of wasting a subprocess and a watchdog timeout.
+
+Rule ids are stable: ``C001``-``C009``.
+"""
+
+from __future__ import annotations
+
+from ..area.model import MAX_DIE_MM2, chip_area
+from ..area.timing import (
+    MAX_DOMAINS_PER_CLUSTER,
+    MAX_MATCHING_ENTRIES,
+    MAX_PES_PER_DOMAIN,
+    MAX_VIRTUALIZATION,
+    TARGET_CYCLE_FO4,
+    timing_report,
+)
+from ..core.config import WaveScalarConfig
+from .diagnostics import Diagnostic, Severity
+from .engine import TARGET_CONFIG, rule
+
+
+# ----------------------------------------------------------------------
+# C001: die-area budget
+# ----------------------------------------------------------------------
+@rule("C001", "die area budget", TARGET_CONFIG)
+def check_area_budget(config: WaveScalarConfig):
+    area = chip_area(config)
+    if area > MAX_DIE_MM2:
+        yield Diagnostic(
+            rule="C001", severity=Severity.ERROR,
+            message=(
+                f"modelled die area {area:.0f} mm2 exceeds the "
+                f"{MAX_DIE_MM2:.0f} mm2 budget (paper Section 4.2)"
+            ),
+            source=config.describe(), location="area",
+            hint="shrink clusters, structure sizes, or the L2",
+        )
+
+
+# ----------------------------------------------------------------------
+# C002: 20 FO4 clock target
+# ----------------------------------------------------------------------
+@rule("C002", "cycle-time target", TARGET_CONFIG)
+def check_clock_target(config: WaveScalarConfig):
+    report = timing_report(config)
+    if not report.meets_target:
+        yield Diagnostic(
+            rule="C002", severity=Severity.ERROR,
+            message=(
+                f"cycle time {report.cycle_fo4:.1f} FO4 breaks the "
+                f"{TARGET_CYCLE_FO4:.0f} FO4 target; critical path: "
+                f"{report.critical_path}"
+            ),
+            source=config.describe(), location="timing",
+            hint="keep matching tables and instruction stores below "
+                 "256 entries",
+        )
+    caps = (
+        ("matching_entries", config.matching_entries,
+         MAX_MATCHING_ENTRIES),
+        ("virtualization", config.virtualization, MAX_VIRTUALIZATION),
+        ("pes_per_domain", config.pes_per_domain, MAX_PES_PER_DOMAIN),
+        ("domains_per_cluster", config.domains_per_cluster,
+         MAX_DOMAINS_PER_CLUSTER),
+    )
+    for name, value, cap in caps:
+        if value > cap:
+            yield Diagnostic(
+                rule="C002", severity=Severity.ERROR,
+                message=(
+                    f"{name}={value} exceeds the largest size "
+                    f"({cap}) that sustains the 20 FO4 clock "
+                    "(Section 4.1 structure limits)"
+                ),
+                source=config.describe(), location=name,
+                hint=f"reduce {name} to at most {cap}",
+            )
+
+
+# ----------------------------------------------------------------------
+# C003: matching-table geometry
+# ----------------------------------------------------------------------
+@rule("C003", "matching-table geometry", TARGET_CONFIG,
+      severity=Severity.WARNING)
+def check_matching_geometry(config: WaveScalarConfig):
+    sets = max(1, config.matching_entries // config.matching_associativity)
+    if config.matching_banks > sets:
+        yield Diagnostic(
+            rule="C003", severity=Severity.WARNING,
+            message=(
+                f"{config.matching_banks} banks over only {sets} "
+                "matching sets; surplus banks can never be addressed"
+            ),
+            source=config.describe(), location="matching_banks",
+            hint="use at most one bank per set",
+        )
+    if config.matching_hash_k > sets:
+        yield Diagnostic(
+            rule="C003", severity=Severity.WARNING,
+            message=(
+                f"hash parameter k={config.matching_hash_k} exceeds the "
+                f"{sets} matching sets; the tuned hash degenerates to "
+                "the fallback mixed hash"
+            ),
+            source=config.describe(), location="matching_hash_k",
+            hint="pick k <= sets (Section 4.2 uses k=4 at M=128)",
+        )
+
+
+# ----------------------------------------------------------------------
+# C004: L1 cache geometry
+# ----------------------------------------------------------------------
+@rule("C004", "L1 cache geometry", TARGET_CONFIG)
+def check_l1_geometry(config: WaveScalarConfig):
+    if config.l1_kb * 1024 < config.line_bytes:
+        yield Diagnostic(
+            rule="C004", severity=Severity.ERROR,
+            message=(
+                f"L1 of {config.l1_kb} KB cannot hold a single "
+                f"{config.line_bytes}-byte line"
+            ),
+            source=config.describe(), location="l1_kb",
+            hint="grow the L1 or shrink the line size",
+        )
+    elif config.l1_lines < config.l1_associativity:
+        yield Diagnostic(
+            rule="C004", severity=Severity.ERROR,
+            message=(
+                f"L1 associativity {config.l1_associativity} exceeds its "
+                f"{config.l1_lines} total lines; the cache cannot form "
+                "one full set"
+            ),
+            source=config.describe(), location="l1_associativity",
+            hint="reduce associativity or grow the L1",
+        )
+
+
+# ----------------------------------------------------------------------
+# C005: store-buffer capacity
+# ----------------------------------------------------------------------
+@rule("C005", "store-buffer capacity", TARGET_CONFIG)
+def check_storebuffer(config: WaveScalarConfig):
+    if config.storebuffer_waves < 1:
+        yield Diagnostic(
+            rule="C005", severity=Severity.ERROR,
+            message="store buffer tracks no waves; no memory operation "
+                    "could ever issue",
+            source=config.describe(), location="storebuffer_waves",
+            hint="allow at least one in-flight wave",
+        )
+        return
+    if config.partial_store_queues > config.storebuffer_waves:
+        yield Diagnostic(
+            rule="C005", severity=Severity.WARNING,
+            message=(
+                f"{config.partial_store_queues} partial-store queues for "
+                f"only {config.storebuffer_waves} in-flight waves; the "
+                "surplus queues can never fill"
+            ),
+            source=config.describe(), location="partial_store_queues",
+            hint="use at most one PSQ per in-flight wave",
+        )
+    if config.psq_entries < 1:
+        yield Diagnostic(
+            rule="C005", severity=Severity.ERROR,
+            message="partial-store queues hold zero entries; decoupled "
+                    "stores could never merge",
+            source=config.describe(), location="psq_entries",
+            hint="allow at least one PSQ entry",
+        )
+
+
+# ----------------------------------------------------------------------
+# C006: instruction-capacity floor
+# ----------------------------------------------------------------------
+@rule("C006", "instruction-capacity floor", TARGET_CONFIG,
+      severity=Severity.WARNING)
+def check_capacity_floor(config: WaveScalarConfig):
+    from ..design.space import MIN_CAPACITY  # local: avoid import cycle
+
+    capacity = config.total_instruction_capacity
+    if capacity < MIN_CAPACITY:
+        yield Diagnostic(
+            rule="C006", severity=Severity.WARNING,
+            message=(
+                f"total instruction capacity {capacity} is below the "
+                f"{MIN_CAPACITY}-instruction floor the paper requires "
+                "of a viable design (Section 4.2)"
+            ),
+            source=config.describe(), location="virtualization",
+            hint="grow V or the PE count; small binaries may still run",
+        )
+
+
+# ----------------------------------------------------------------------
+# C007: tiling balance rules
+# ----------------------------------------------------------------------
+@rule("C007", "tiling balance", TARGET_CONFIG, severity=Severity.WARNING)
+def check_balance(config: WaveScalarConfig):
+    from ..design.space import is_balanced  # local: avoid import cycle
+
+    if is_balanced(config):
+        return
+    if config.pes_per_domain < 8 and config.domains_per_cluster > 1:
+        reason = "multiple domains with under-full (<8 PE) domains"
+    elif config.domains_per_cluster < 4 and config.clusters > 1:
+        reason = "multiple clusters with under-full (<4 domain) clusters"
+    elif config.clusters > 1 and \
+            int(round(config.clusters ** 0.5)) ** 2 != config.clusters:
+        reason = f"{config.clusters} clusters cannot tile a square mesh"
+    else:
+        reason = f"{config.l2_mb} MB of L2 dwarfs the compute it serves"
+    yield Diagnostic(
+        rule="C007", severity=Severity.WARNING,
+        message=f"unbalanced tiling: {reason} (Section 4.2 prune rules)",
+        source=config.describe(), location="tiling",
+        hint="fill domains before adding domains, and domains' worth "
+             "of clusters before adding clusters",
+    )
+
+
+# ----------------------------------------------------------------------
+# C008: memory-latency ordering
+# ----------------------------------------------------------------------
+@rule("C008", "memory-latency ordering", TARGET_CONFIG)
+def check_latency_ordering(config: WaveScalarConfig):
+    if config.l2_mb > 0 and config.l2_base_latency > config.l2_max_latency:
+        yield Diagnostic(
+            rule="C008", severity=Severity.ERROR,
+            message=(
+                f"L2 base latency {config.l2_base_latency} exceeds its "
+                f"max latency {config.l2_max_latency}; the distance "
+                "model is contradictory"
+            ),
+            source=config.describe(), location="l2_base_latency",
+            hint="keep base <= max",
+        )
+    if config.l2_mb > 0 and config.dram_latency <= config.l2_max_latency:
+        yield Diagnostic(
+            rule="C008", severity=Severity.WARNING,
+            message=(
+                f"DRAM latency {config.dram_latency} is not above the "
+                f"L2's {config.l2_max_latency}; the L2 could never help"
+            ),
+            source=config.describe(), location="dram_latency",
+            hint="a real memory hierarchy is monotonically slower "
+                 "outward",
+        )
+
+
+# ----------------------------------------------------------------------
+# C009: virtualization ratio (informational)
+# ----------------------------------------------------------------------
+@rule("C009", "virtualization ratio", TARGET_CONFIG,
+      severity=Severity.INFO)
+def check_virtualization_ratio(config: WaveScalarConfig):
+    if config.matching_entries != config.virtualization:
+        ratio = config.matching_entries / config.virtualization
+        yield Diagnostic(
+            rule="C009", severity=Severity.INFO,
+            message=(
+                f"M/V ratio is {ratio:.2f}; the paper's Table 4 "
+                "analysis selects a processor-wide ratio of 1"
+            ),
+            source=config.describe(), location="matching_entries",
+            hint="off-ratio designs are excluded from the Figure 6 "
+                 "sweep but simulate fine",
+        )

@@ -4,10 +4,13 @@ Usage::
 
     python -m repro list
     python -m repro run --workload fft --clusters 4 --threads 16
+    python -m repro run --workload gzip --sanitize
     python -m repro area --clusters 4 --l2-mb 2
     python -m repro designs
     python -m repro sweep --suite splash --sample 6
     python -m repro sweep --suite spec --ledger sweep.jsonl --resume
+    python -m repro lint examples/ --check-config
+    python -m repro lint all --json
     python -m repro trace --workload mcf --events 40
 
 Every command is a thin veneer over the library; anything the CLI
@@ -85,9 +88,15 @@ def cmd_run(args: argparse.Namespace) -> int:
     threads = args.threads if workload.multithreaded else None
     proc = WaveScalarProcessor(config)
     print(proc.describe())
+    sanitizer = None
+    if args.sanitize:
+        from .analysis import RuntimeSanitizer
+
+        sanitizer = RuntimeSanitizer()
     result = proc.run_workload(
         workload, scale=Scale[args.scale.upper()], threads=threads,
-        k=args.k, seed=args.seed,
+        k=args.k, seed=args.seed, sanitizer=sanitizer,
+        strict=not args.sanitize,
     )
     print(result.summary())
     fr = result.stats.traffic_fractions()
@@ -96,7 +105,43 @@ def cmd_run(args: argparse.Namespace) -> int:
         f"cluster {fr['cluster']:.0%} / grid {fr['grid']:.1%}"
     )
     print(f"outputs: {result.outputs()}")
+    if sanitizer is not None:
+        print()
+        print(sanitizer.report().render())
+        if not sanitizer.ok:
+            return 1
     return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis import lint_config, merge_reports, resolve_targets
+
+    targets = args.targets or ["all"]
+    results = resolve_targets(
+        targets, scale=Scale[args.scale.upper()],
+        threads=args.threads,
+    )
+    if args.check_config:
+        results.append(lint_config(_config_from(args)))
+    merged = merge_reports(results)
+    if args.json:
+        print(merged.to_json(indent=2))
+    else:
+        for result in results:
+            diags = result.report.sorted()
+            if not args.verbose:
+                from .analysis import Severity
+
+                diags = [d for d in diags
+                         if d.severity is not Severity.INFO]
+            for diag in diags:
+                print(diag.render())
+        clean = sum(1 for r in results if not len(r.report))
+        print(
+            f"linted {len(results)} target(s) ({clean} silent): "
+            f"{merged.summary()}"
+        )
+    return 1 if merged.has_errors else 0
 
 
 def cmd_area(args: argparse.Namespace) -> int:
@@ -272,6 +317,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--k", type=int, default=None,
                        help="k-loop bound override")
     p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--sanitize", action="store_true",
+                       help="audit runtime invariants (token "
+                            "conservation, matching-table leaks, queue "
+                            "bounds); violations exit non-zero")
 
     p_area = sub.add_parser("area", help="area/timing breakdown")
     _add_config_args(p_area)
@@ -298,6 +347,29 @@ def build_parser() -> argparse.ArgumentParser:
                          dest="timeout_s", metavar="S",
                          help="wall-clock watchdog per cell; a hung "
                               "run is killed and recorded")
+
+    p_lint = sub.add_parser(
+        "lint", help="static analysis of programs and configs"
+    )
+    _add_config_args(p_lint)
+    p_lint.add_argument(
+        "targets", nargs="*", metavar="TARGET",
+        help="workload name, suite name, .wsasm file, or directory "
+             "(default: every bundled workload)",
+    )
+    p_lint.add_argument("--scale", default="tiny",
+                        choices=[s.value for s in Scale],
+                        help="scale at which workloads are instantiated")
+    p_lint.add_argument("--threads", "-t", type=int, default=None,
+                        help="thread count for multithreaded workloads")
+    p_lint.add_argument("--check-config", action="store_true",
+                        dest="check_config",
+                        help="also lint the processor configuration "
+                             "built from the config flags")
+    p_lint.add_argument("--json", action="store_true",
+                        help="emit diagnostics as JSON")
+    p_lint.add_argument("--verbose", "-v", action="store_true",
+                        help="include info-level diagnostics")
 
     p_char = sub.add_parser("characterize",
                             help="workload shape table (Section 2.2)")
@@ -342,6 +414,7 @@ COMMANDS = {
     "area": cmd_area,
     "designs": cmd_designs,
     "sweep": cmd_sweep,
+    "lint": cmd_lint,
     "trace": cmd_trace,
     "report": cmd_report,
     "characterize": cmd_characterize,

@@ -69,6 +69,7 @@ class WaveScalarProcessor:
         strict: bool = True,
         threads: Optional[int] = None,
         faults=None,
+        sanitizer=None,
     ) -> SimulationResult:
         """Execute ``graph`` and return the full result bundle.
 
@@ -76,7 +77,11 @@ class WaveScalarProcessor:
         (Table 4 tuning); ``strict`` raises on deadlock rather than
         returning a partial result; ``faults`` attaches a
         :class:`~repro.harness.faults.FaultPlan` for deterministic
-        fault injection (harness testing).
+        fault injection (harness testing); ``sanitizer`` attaches a
+        :class:`~repro.analysis.RuntimeSanitizer` that audits token
+        conservation, matching-table leaks, and queue bounds (query it
+        after the run -- pair with ``strict=False`` to collect
+        violations instead of raising on deadlock).
         """
         if k is not None:
             graph = set_k_bound(graph, k)
@@ -88,6 +93,8 @@ class WaveScalarProcessor:
         )
         if faults is not None:
             engine.faults = faults
+        if sanitizer is not None:
+            engine.sanitizer = sanitizer
         stats = engine.run(strict=strict)
         return SimulationResult(
             program=graph.name,
@@ -107,6 +114,8 @@ class WaveScalarProcessor:
         seed: int = 0,
         check: bool = True,
         faults=None,
+        sanitizer=None,
+        strict: bool = True,
     ) -> SimulationResult:
         """Instantiate and execute one registry workload.
 
@@ -114,12 +123,16 @@ class WaveScalarProcessor:
         against the workload's pure-Python reference; a mismatch raises
         ``AssertionError`` -- a simulator correctness bug, never a
         performance matter.  An active ``faults`` plan skips the check:
-        injected faults corrupt outputs by design.
+        injected faults corrupt outputs by design.  ``sanitizer`` and
+        ``strict`` pass through to :meth:`run`.
         """
         graph = workload.instantiate(
             scale=scale, threads=threads, k=k, seed=seed
         )
-        result = self.run(graph, threads=threads, faults=faults)
+        result = self.run(
+            graph, threads=threads, faults=faults, sanitizer=sanitizer,
+            strict=strict,
+        )
         if faults is not None:
             check = False
         if check:

@@ -88,6 +88,30 @@ class Ledger:
                 record["diagnostics"] = result.diagnostics
         return record
 
+    @staticmethod
+    def record_invalid(spec: CellSpec, diagnostics) -> dict:
+        """Serialise a statically rejected cell: the pre-validation
+        stage found the configuration unrealizable, so no subprocess
+        ever ran (``attempts == 0``).  ``diagnostics`` is a list of
+        :class:`~repro.analysis.Diagnostic` objects."""
+        first = diagnostics[0] if diagnostics else None
+        return {
+            "version": LEDGER_VERSION,
+            "hash": spec.cell_hash(),
+            "status": "invalid",
+            "workload": spec.workload,
+            "config": spec.config.describe(),
+            "threads": spec.threads,
+            "attempts": 0,
+            "retries": 0,
+            "wall_s": 0.0,
+            "ts": time.time(),
+            "spec": spec.as_dict(),
+            "failure_class": "ConfigRuleViolation",
+            "failure_detail": first.message if first else "",
+            "diagnostics": [d.to_dict() for d in diagnostics],
+        }
+
 
 def summarize(records: dict[str, dict]) -> dict[str, int]:
     """Status counts over a loaded ledger (for reports and tests)."""

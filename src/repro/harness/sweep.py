@@ -52,20 +52,36 @@ class SweepReport:
 
     completed: int = 0  # cells simulated to success this run
     failed: int = 0  # cells recorded as failed this run
+    invalid: int = 0  # cells statically rejected, never simulated
     retried: int = 0  # total retry attempts across cells
     skipped: int = 0  # cells resumed from the ledger, not re-simulated
     failures: list[CellFailure] = field(default_factory=list)
 
     @property
     def total(self) -> int:
-        return self.completed + self.failed + self.skipped
+        return self.completed + self.failed + self.invalid + self.skipped
 
     def summary(self) -> str:
         return (
             f"cells: {self.completed} completed / {self.failed} failed "
-            f"/ {self.retried} retried / {self.skipped} resumed "
-            f"({self.total} total)"
+            f"/ {self.invalid} invalid / {self.retried} retried "
+            f"/ {self.skipped} resumed ({self.total} total)"
         )
+
+
+def static_rejection(spec: CellSpec) -> Optional[list]:
+    """Error-level config diagnostics dooming ``spec``, or ``None``.
+
+    The pre-validation stage of every sweep: an unrealizable
+    configuration (over the die budget, off the clock target,
+    contradictory cache geometry) is caught here, before a subprocess
+    is forked for it -- historically such a cell burned a full
+    watchdog timeout and polluted retry accounting.
+    """
+    from ..analysis import analyze_config
+
+    report = analyze_config(spec.config)
+    return report.errors if report.has_errors else None
 
 
 def _cell_record(
@@ -75,6 +91,7 @@ def _cell_record(
     ledger: Optional[Ledger],
     report: SweepReport,
     progress: Optional[Callable[[CellSpec, dict], None]],
+    prevalidate: bool = True,
 ) -> dict:
     """Run (or resume) one cell and account for it."""
     cell = spec.cell_hash()
@@ -82,16 +99,21 @@ def _cell_record(
     if record is not None:
         report.skipped += 1
     else:
-        result: CellResult = supervisor.run(spec)
-        record = Ledger.record_for(spec, result)
+        rejected = static_rejection(spec) if prevalidate else None
+        if rejected is not None:
+            record = Ledger.record_invalid(spec, rejected)
+            report.invalid += 1
+        else:
+            result: CellResult = supervisor.run(spec)
+            record = Ledger.record_for(spec, result)
+            report.retried += result.retries
+            if result.ok:
+                report.completed += 1
+            else:
+                report.failed += 1
         if ledger is not None:
             ledger.append(record)
         done[cell] = record
-        report.retried += result.retries
-        if result.ok:
-            report.completed += 1
-        else:
-            report.failed += 1
     if progress is not None:
         progress(spec, record)
     return record
@@ -104,6 +126,7 @@ def sweep_cells(
     resume: bool = False,
     supervisor: Optional[RunSupervisor] = None,
     progress: Optional[Callable[[CellSpec, dict], None]] = None,
+    prevalidate: bool = True,
 ) -> tuple[dict[str, dict], SweepReport]:
     """Run an explicit cell list; returns (records by hash, report)."""
     supervisor = supervisor or RunSupervisor()
@@ -113,7 +136,8 @@ def sweep_cells(
     records: dict[str, dict] = {}
     for spec in specs:
         records[spec.cell_hash()] = _cell_record(
-            spec, done, supervisor, ledger, report, progress
+            spec, done, supervisor, ledger, report, progress,
+            prevalidate=prevalidate,
         )
     return records, report
 
@@ -135,6 +159,7 @@ def design_space_sweep(
     max_events: int = SWEEP_MAX_EVENTS,
     supervisor: Optional[RunSupervisor] = None,
     progress: Optional[Callable[[CellSpec, dict], None]] = None,
+    prevalidate: bool = True,
 ) -> tuple[list[ParetoPoint], SweepReport]:
     """The fault-tolerant Figure 6/7 evaluation loop.
 
@@ -174,7 +199,8 @@ def design_space_sweep(
                     max_events=max_events,
                 )
                 record = _cell_record(
-                    spec, done, supervisor, ledger, report, progress
+                    spec, done, supervisor, ledger, report, progress,
+                    prevalidate=prevalidate,
                 )
                 if record["status"] == "ok":
                     aipc = record.get("aipc", 0.0)

@@ -1,16 +1,15 @@
-"""Semantic verification of dataflow graphs.
+"""Semantic verification of dataflow graphs (raising wrapper).
 
-Beyond the structural checks in :meth:`DataflowGraph.validate`, this
-module checks the properties the simulator relies on:
+The checks themselves live in the pluggable rule engine of
+:mod:`repro.analysis` (rules ``G000``-``G011``): every non-entry input
+port fed, consistent wave partial orders, predicate provenance, and
+more.  This module keeps the historical raise-on-first-error API that
+the toolchain (:meth:`GraphBuilder.finalize`, the assembler) and tests
+rely on: :func:`verify_graph` runs the full graph registry and raises
+:class:`GraphVerificationError` for the first error-level diagnostic.
 
-* every non-entry input port is fed by at least one producer (otherwise
-  the instruction can never fire and the program deadlocks),
-* wave annotations within the program form a consistent partial order
-  (``this`` values unique, ``prev``/``next`` links reference real
-  sequence numbers),
-* STEER predicates arrive on port 1 from comparison-producing
-  instructions or constants (heuristic warning only),
-* OUTPUT instructions exist if the caller asks for observable results.
+Use :func:`repro.analysis.analyze_graph` directly to collect *all*
+diagnostics (including warnings) instead of failing fast.
 """
 
 from __future__ import annotations
@@ -18,8 +17,6 @@ from __future__ import annotations
 from collections import defaultdict
 
 from .graph import DataflowGraph
-from .opcodes import Opcode
-from .waves import UNKNOWN, WAVE_END, WAVE_START
 
 
 class GraphVerificationError(ValueError):
@@ -32,97 +29,24 @@ def verify_graph(graph: DataflowGraph, require_outputs: bool = False) -> None:
     Parameters
     ----------
     graph:
-        The program to verify.  ``graph.validate()`` is run first.
+        The program to verify.  Structural validation
+        (``graph.validate()``) runs first, as rule ``G000``.
     require_outputs:
         When true, insist the program contains at least one OUTPUT
-        instruction so results are observable.
+        instruction so results are observable (escalates the ``G011``
+        observability warning to an error).
     """
-    graph.validate()
-    _check_port_coverage(graph)
-    _check_wave_annotations(graph)
+    from ..analysis import analyze_graph
+
+    report = analyze_graph(graph)
+    errors = report.errors
+    if errors:
+        first = errors[0]
+        prefix = f"{first.source}: " if first.source else ""
+        raise GraphVerificationError(f"{prefix}{first.message}")
     if require_outputs and not graph.output_instruction_ids():
         raise GraphVerificationError(
             f"{graph.name}: no OUTPUT instructions; results unobservable"
-        )
-
-
-def _check_port_coverage(graph: DataflowGraph) -> None:
-    """Every input port must be reachable from a producer or entry token."""
-    fed: set[tuple[int, int]] = set()
-    for _, dest in graph.edges():
-        fed.add((dest.inst, dest.port))
-    for token in graph.entry_tokens:
-        fed.add((token.inst, token.port))
-
-    for inst in graph.instructions:
-        for port in range(inst.arity):
-            if (inst.inst_id, port) not in fed:
-                raise GraphVerificationError(
-                    f"{graph.name}: port {port} of {inst!r} has no producer "
-                    "and no entry token; instruction can never fire"
-                )
-
-
-def _check_wave_annotations(graph: DataflowGraph) -> None:
-    """Wave annotations must form a consistent chain skeleton.
-
-    Sequence numbers are scoped to their static wave region (each
-    dynamic wave executes exactly one region), so all checks are
-    per-region.
-    """
-    by_region: dict[int, list[tuple[int, object]]] = defaultdict(list)
-    for inst in graph.memory_instructions:
-        assert inst.wave_annotation is not None
-        by_region[inst.wave_annotation.region].append(
-            (inst.inst_id, inst.wave_annotation)
-        )
-    for region, anns in by_region.items():
-        _check_region_chain(graph.name, region, anns)
-
-
-def _check_region_chain(name: str, region: int, anns: list) -> None:
-    seen_this: dict[int, int] = {}
-    for inst_id, ann in anns:
-        if ann.this in seen_this:
-            raise GraphVerificationError(
-                f"{name}: region {region}: duplicate wave sequence number "
-                f"{ann.this} (i{seen_this[ann.this]} and i{inst_id})"
-            )
-        seen_this[ann.this] = inst_id
-
-    valid = set(seen_this)
-    for inst_id, ann in anns:
-        if ann.prev not in (UNKNOWN, WAVE_START) and ann.prev not in valid:
-            raise GraphVerificationError(
-                f"{name}: region {region}: i{inst_id} names nonexistent "
-                f"predecessor sequence {ann.prev}"
-            )
-        if ann.next not in (UNKNOWN, WAVE_END) and ann.next not in valid:
-            raise GraphVerificationError(
-                f"{name}: region {region}: i{inst_id} names nonexistent "
-                f"successor sequence {ann.next}"
-            )
-
-    # Each op must be orderable: either its prev is statically known, or
-    # at least one other op names it in its ``next`` field.  (At runtime
-    # only one such producer fires per wave.)
-    rippled_to: set[int] = set()
-    for _, ann in anns:
-        if ann.next not in (UNKNOWN, WAVE_END):
-            rippled_to.add(ann.next)
-    for inst_id, ann in anns:
-        if ann.prev == UNKNOWN and ann.this not in rippled_to:
-            raise GraphVerificationError(
-                f"{name}: region {region}: i{inst_id} has unknown "
-                "predecessor and no ripple names it; wave ordering would "
-                "deadlock"
-            )
-    # Every region must be terminable: at least one op can close the
-    # dynamic wave.
-    if anns and not any(ann.next == WAVE_END for _, ann in anns):
-        raise GraphVerificationError(
-            f"{name}: region {region}: no operation carries WAVE_END; "
-            "the store buffer could never retire this wave"
         )
 
 

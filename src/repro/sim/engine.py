@@ -163,6 +163,13 @@ class Engine:
         #: harness imports); attach before run().  None keeps the hot
         #: path branch-cheap.
         self.faults = None
+
+        #: Optional runtime sanitizer (repro.analysis.sanitize
+        #: .RuntimeSanitizer, duck-typed like trace/faults); attach
+        #: before run().  When set, the engine reports token
+        #: creation/consumption and structure occupancy through its
+        #: hooks and hands it the drained machine for a final audit.
+        self.sanitizer = None
         self._fault_deliveries = 0
         self._events_processed = 0
 
@@ -198,6 +205,8 @@ class Engine:
                 (pe, token.thread, token.wave, token.inst, token.port,
                  token.value, False),
             )
+        if self.sanitizer is not None:
+            self.sanitizer.note_entry(len(self.graph.entry_tokens))
         events = self._events
         processed = 0
         max_events = self.max_events
@@ -239,6 +248,8 @@ class Engine:
 
         self.stats.cycles = self._horizon
         self._events_processed = processed
+        if self.sanitizer is not None:
+            self.sanitizer.finalize(self)
         if strict:
             self._check_quiescent()
         return self.stats
@@ -358,6 +369,8 @@ class Engine:
             self.trace.emit(cycle, "input", pe, inst_id, thread, wave,
                             f"port {port} = {value!r}")
         self.stats.matching_inserts += 1
+        if self.sanitizer is not None:
+            self.sanitizer.note_table_size(pe, len(table), table.entries)
         if result.miss:
             self.stats.matching_misses += 1
         if result.deflected:
@@ -436,6 +449,12 @@ class Engine:
         done = exec_start + opcode.latency
         self._note_time(done)
         self.stats.dispatches += 1
+        if self.sanitizer is not None:
+            # STORE halves dispatch decoupled, one operand each; every
+            # other opcode consumes its full matched operand set.
+            self.sanitizer.note_consumed(
+                1 if opcode is Opcode.STORE else self._d_arity[inst_id]
+            )
         if self.trace is not None:
             self.trace.emit(granted, "dispatch", pe, inst_id, thread,
                             wave, opcode.name)
@@ -566,7 +585,11 @@ class Engine:
                 if self.trace is not None:
                     self.trace.emit(cycle, "fault_drop", src_pe, dest.inst,
                                     thread, wave)
+                if self.sanitizer is not None:
+                    self.sanitizer.note_dropped()
                 continue
+            if self.sanitizer is not None:
+                self.sanitizer.note_created()
             route = self.network.route(src_pe, dst_pe, cycle, "operand")
             arrive = cycle + route.latency
             if spec_pod and route.level == "pod":
@@ -643,6 +666,8 @@ class Engine:
             )
         sb_cluster = self.placement.thread_home.get(op.thread, 0)
         for dest in inst.dests:
+            if self.sanitizer is not None:
+                self.sanitizer.note_created()
             dst_pe = self.placement.pe_of[dest.inst]
             dst_cluster = dst_pe // self.config.pes_per_cluster
             if dst_cluster == sb_cluster:

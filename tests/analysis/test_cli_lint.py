@@ -1,0 +1,83 @@
+"""The ``repro lint`` and ``repro run --sanitize`` commands."""
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+def test_lint_workload_clean(capsys):
+    code, out = run_cli(capsys, "lint", "gzip")
+    assert code == 0
+    assert "0 error(s)" in out
+
+
+def test_lint_default_covers_every_workload(capsys):
+    code, out = run_cli(capsys, "lint")
+    assert code == 0
+    assert "linted 15 target(s)" in out
+
+
+def test_lint_examples_directory(capsys):
+    code, out = run_cli(capsys, "lint", str(EXAMPLES_DIR))
+    assert code == 0
+
+
+def test_lint_json_output(capsys):
+    code, out = run_cli(capsys, "lint", "gzip", "--json")
+    assert code == 0
+    data = json.loads(out)
+    assert data["errors"] == 0
+    assert isinstance(data["diagnostics"], list)
+
+
+def test_lint_broken_program_fails(capsys, tmp_path):
+    bad = tmp_path / "broken.wsasm"
+    bad.write_text("this is not assembly\n")
+    code, out = run_cli(capsys, "lint", str(bad))
+    assert code == 1
+    assert "error[" in out
+
+
+def test_lint_defective_graph_fails(capsys, tmp_path):
+    # Assembles fine but an ADD input port is never fed: G001.
+    bad = tmp_path / "halffed.wsasm"
+    bad.write_text(
+        ".program halffed\n"
+        ".entry i0[0] t0 = 1\n"
+        "i0: ADD -> i1[0]\n"
+        "i1: OUTPUT\n"
+    )
+    code, out = run_cli(capsys, "lint", str(bad))
+    assert code == 1
+    assert "G001" in out
+
+
+def test_lint_unknown_target_fails(capsys):
+    code, out = run_cli(capsys, "lint", "nonexistent-thing")
+    assert code == 1
+    assert "A000" in out
+
+
+def test_lint_check_config_flags_bad_config(capsys):
+    code, out = run_cli(
+        capsys, "lint", "gzip", "--check-config", "--matching", "512",
+    )
+    assert code == 1
+    assert "C002" in out
+
+
+def test_run_with_sanitizer(capsys):
+    code, out = run_cli(
+        capsys, "run", "-w", "mcf", "--scale", "tiny", "--sanitize",
+    )
+    assert code == 0
+    assert "token ledger" in out

@@ -1,0 +1,63 @@
+"""Every shipped artifact must lint clean.
+
+The acceptance bar for the analyzer: zero error-level diagnostics on
+all bundled workloads, the example assembly programs, and every
+configuration the paper's design-space sweep would visit.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    analyze_config,
+    lint_file,
+    lint_workload,
+    resolve_targets,
+)
+from repro.core.config import BASELINE
+from repro.design.space import viable_designs
+from repro.workloads.registry import all_names
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parents[2] / "examples").rglob("*.wsasm")
+)
+
+
+@pytest.mark.parametrize("name", all_names())
+def test_workload_lints_clean(name):
+    result = lint_workload(name)
+    assert result.clean, result.report.render()
+    # Not merely error-free: the bundled suite carries no warnings.
+    assert not result.report.warnings, result.report.render()
+
+
+def test_examples_exist():
+    assert EXAMPLES, "examples/ should ship .wsasm programs"
+
+
+@pytest.mark.parametrize(
+    "path", EXAMPLES, ids=[p.stem for p in EXAMPLES]
+)
+def test_example_lints_clean(path):
+    result = lint_file(path)
+    assert result.clean, result.report.render()
+
+
+def test_baseline_config_lints_clean():
+    report = analyze_config(BASELINE)
+    assert not report.has_errors, report.render()
+
+
+def test_all_viable_designs_lint_error_free():
+    for design in viable_designs():
+        report = analyze_config(design.config)
+        assert not report.has_errors, (
+            design.config.describe() + "\n" + report.render()
+        )
+
+
+def test_resolve_unknown_target_is_error():
+    (result,) = resolve_targets(["no-such-thing"])
+    assert not result.clean
+    assert result.report.errors[0].rule == "A000"

@@ -1,0 +1,62 @@
+"""Runtime sanitizer: clean runs audit clean, faulted runs are caught."""
+
+import pytest
+
+from repro.analysis import RuntimeSanitizer
+from repro.core.config import WaveScalarConfig
+from repro.core.processor import WaveScalarProcessor
+from repro.harness.faults import FaultPlan
+from repro.workloads.base import Scale
+from repro.workloads.registry import all_names, get
+
+
+@pytest.fixture(scope="module")
+def proc():
+    return WaveScalarProcessor(WaveScalarConfig())
+
+
+@pytest.mark.parametrize("name", all_names())
+def test_suite_is_invariant_clean(proc, name):
+    sanitizer = RuntimeSanitizer()
+    proc.run_workload(get(name), scale=Scale.TINY, sanitizer=sanitizer)
+    assert sanitizer.ok, sanitizer.report().render()
+    assert sanitizer.violations == []
+
+
+def test_clean_run_reports_token_ledger(proc):
+    sanitizer = RuntimeSanitizer()
+    proc.run_workload(get("gzip"), scale=Scale.TINY,
+                      sanitizer=sanitizer)
+    infos = sanitizer.report().infos
+    assert any(d.rule == "S005" and "token ledger" in d.message
+               for d in infos)
+
+
+def test_fault_injected_run_is_rejected(proc):
+    sanitizer = RuntimeSanitizer()
+    plan = FaultPlan(drop_every_n=50, drop_after=100)
+    proc.run_workload(
+        get("gzip"), scale=Scale.TINY, faults=plan,
+        sanitizer=sanitizer, strict=False,
+    )
+    assert not sanitizer.ok
+    rules = {d.rule for d in sanitizer.violations}
+    # Dropped deliveries violate conservation (S001) and strand their
+    # rendezvous partners in the matching tables (S002).
+    assert "S001" in rules
+    assert "S002" in rules
+
+
+def test_sanitizer_is_reusable_across_checks(proc):
+    # Two independent sanitizers on the same processor do not share
+    # state: the second starts balanced.
+    first = RuntimeSanitizer()
+    proc.run_workload(
+        get("gzip"), scale=Scale.TINY,
+        faults=FaultPlan(drop_every_n=50, drop_after=100),
+        sanitizer=first, strict=False,
+    )
+    assert not first.ok
+    second = RuntimeSanitizer()
+    proc.run_workload(get("gzip"), scale=Scale.TINY, sanitizer=second)
+    assert second.ok
