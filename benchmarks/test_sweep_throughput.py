@@ -1,0 +1,124 @@
+"""Sweep-scheduler throughput: cells/sec at jobs=1 vs jobs=4.
+
+The parallel scheduler's speedup is a tracked number, not an
+anecdote: this bench runs the acceptance campaign -- 8 viable designs
+x the splash2 suite at TINY scale, best-thread-count mode -- serially
+and at ``jobs=4``, asserts the results are identical, and (on a box
+with >= 4 usable cores) asserts the parallel sweep is at least 2.5x
+faster wall-clock.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.design import viable_designs
+from repro.harness import Ledger, RunSupervisor, design_space_sweep
+from repro.workloads import SPLASH_NAMES, Scale
+
+from .conftest import full_sweep
+
+N_DESIGNS = 8
+SPEEDUP_FLOOR = 2.5
+
+
+def usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def sample_designs(n=N_DESIGNS):
+    designs = viable_designs()
+    step = max(1, len(designs) // n)
+    return designs[::step][:n]
+
+
+def run_sweep(jobs, ledger_path=None, designs=None, names=SPLASH_NAMES):
+    return design_space_sweep(
+        designs if designs is not None else sample_designs(),
+        names, scale=Scale.TINY, threaded=True,
+        ledger_path=ledger_path, jobs=jobs,
+        supervisor=RunSupervisor(isolation="inline"),
+    )
+
+
+@pytest.mark.parametrize("jobs", [1, 4])
+def test_sweep_cells_per_second(benchmark, jobs):
+    """Tracked number: sweep cell throughput at each jobs level.
+
+    Runs a reduced campaign (4 designs x 3 workloads) so the tracked
+    number stays cheap; ``REPRO_BENCH_FULL=1`` uses the full
+    acceptance campaign instead.
+    """
+    if full_sweep():
+        designs, names = sample_designs(), SPLASH_NAMES
+    else:
+        designs, names = sample_designs(4), SPLASH_NAMES[:3]
+    reports = []
+
+    def run():
+        points, report = run_sweep(jobs, designs=designs, names=names)
+        reports.append(report)
+        return report.total
+
+    cells = benchmark.pedantic(run, rounds=1, iterations=1)
+    wall = benchmark.stats.stats.mean
+    benchmark.extra_info["jobs"] = jobs
+    benchmark.extra_info["cells"] = cells
+    benchmark.extra_info["cells_per_s"] = round(cells / wall, 2)
+    assert cells > 0
+    assert reports[-1].completed + reports[-1].failed == cells
+
+
+def test_parallel_speedup_and_identical_results(tmp_path, record):
+    """Acceptance: jobs=4 is >= 2.5x faster than jobs=1 on the
+    8-design splash2 TINY sweep, with identical ParetoPoints and
+    ledger verdicts."""
+    cores = usable_cores()
+
+    start = time.perf_counter()
+    serial_points, serial_report = run_sweep(1, tmp_path / "serial.jsonl")
+    serial_wall = time.perf_counter() - start
+
+    start = time.perf_counter()
+    par_points, par_report = run_sweep(4, tmp_path / "par.jsonl")
+    par_wall = time.perf_counter() - start
+
+    # Correctness holds on any machine.
+    assert par_points == serial_points
+    assert par_report.failures == serial_report.failures
+    serial_verdicts = {
+        h: (r["status"], r.get("aipc"))
+        for h, r in Ledger(tmp_path / "serial.jsonl").load().items()
+    }
+    par_verdicts = {
+        h: (r["status"], r.get("aipc"))
+        for h, r in Ledger(tmp_path / "par.jsonl").load().items()
+    }
+    assert par_verdicts == serial_verdicts
+
+    speedup = serial_wall / par_wall if par_wall else float("inf")
+    record(
+        "sweep_throughput",
+        f"designs: {len(sample_designs())}  suite: splash2 @ tiny\n"
+        f"cells: {serial_report.total}\n"
+        f"jobs=1: {serial_wall:.1f}s "
+        f"({serial_report.total / serial_wall:.2f} cells/s)\n"
+        f"jobs=4: {par_wall:.1f}s "
+        f"({par_report.total / par_wall:.2f} cells/s)\n"
+        f"speedup: {speedup:.2f}x on {cores} usable core(s)",
+    )
+    if cores < 4:
+        pytest.skip(
+            f"speedup floor needs >= 4 usable cores, have {cores} "
+            f"(measured {speedup:.2f}x)"
+        )
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"jobs=4 only {speedup:.2f}x faster than jobs=1 "
+        f"(floor {SPEEDUP_FLOOR}x, {cores} cores)"
+    )

@@ -190,22 +190,27 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     if args.resume and not args.ledger:
         print("error: --resume requires --ledger PATH", file=sys.stderr)
         return 2
+    import os
+
     names = SUITES[args.suite]
     designs = viable_designs()[:: args.sample]
     threaded = args.suite == "splash"
+    jobs = args.jobs if args.jobs else (os.cpu_count() or 1)
     print(
         f"evaluating {len(designs)} designs on suite {args.suite!r} "
-        f"({'best thread count' if threaded else 'single-threaded'}) ..."
+        f"({'best thread count' if threaded else 'single-threaded'}"
+        f"{f', {jobs} jobs' if jobs > 1 else ''}) ..."
     )
     # Subprocess isolation (watchdog, kill protection) engages when a
     # ledger or timeout asks for a supervised campaign; plain sweeps
-    # stay in-process for speed.
+    # stay in-process for speed (with jobs>1 each cell already runs
+    # inside a worker process, so "inline" still isolates the driver).
     isolation = "process" if (args.ledger or args.timeout_s is not None) \
         else "inline"
     points, report = design_space_sweep(
         designs, names, scale=Scale[args.scale.upper()],
         threaded=threaded, ledger_path=args.ledger, resume=args.resume,
-        timeout_s=args.timeout_s, isolation=isolation,
+        timeout_s=args.timeout_s, isolation=isolation, jobs=jobs,
     )
     if args.save:
         from .design import dump_points
@@ -347,6 +352,12 @@ def build_parser() -> argparse.ArgumentParser:
                          dest="timeout_s", metavar="S",
                          help="wall-clock watchdog per cell; a hung "
                               "run is killed and recorded")
+    p_sweep.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                         help="worker processes for the sweep (1 = "
+                              "serial, 0 = one per core); lanes of "
+                              "independent (design, workload) pairs "
+                              "run concurrently, results are "
+                              "identical to a serial sweep")
 
     p_lint = sub.add_parser(
         "lint", help="static analysis of programs and configs"

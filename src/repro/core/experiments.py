@@ -230,23 +230,28 @@ def evaluate_design_space(
     resume: bool = False,
     timeout_s: Optional[float] = None,
     isolation: str = "process",
+    jobs: Optional[int] = 1,
 ) -> list[ParetoPoint]:
     """AIPC-vs-area points for a suite over a set of designs.
 
-    With ``ledger_path``/``resume`` the evaluation routes through the
-    fault-tolerant harness (:func:`repro.harness.sweep
-    .design_space_sweep`): every cell runs supervised, is checkpointed
-    to the JSONL ledger, and an interrupted campaign resumes without
-    re-simulating finished cells.  The default path stays in-process
-    and memoised.
+    With ``ledger_path``/``resume`` -- or ``jobs`` other than 1 -- the
+    evaluation routes through the fault-tolerant harness
+    (:func:`repro.harness.sweep.design_space_sweep`): every cell runs
+    supervised, is checkpointed to the JSONL ledger, and an
+    interrupted campaign resumes without re-simulating finished
+    cells.  ``jobs=N`` fans independent ``(design, workload)`` lanes
+    out over N worker processes (``None``/``0`` = one per core); the
+    returned points are identical for every ``jobs`` value.  The
+    default path stays in-process and memoised.
     """
-    if ledger_path is not None or resume:
+    if ledger_path is not None or resume or jobs != 1:
         from ..harness.sweep import design_space_sweep
 
         points, _report = design_space_sweep(
             list(designs), names, scale=scale, threaded=threaded,
             candidates=candidates, ledger_path=ledger_path,
             resume=resume, timeout_s=timeout_s, isolation=isolation,
+            jobs=jobs,
         )
         return points
     points = []
@@ -357,14 +362,16 @@ def scaling_study(
     *,
     ledger_path=None,
     resume: bool = False,
+    jobs: Optional[int] = 1,
 ) -> tuple[ScalingStudy, dict[str, float]]:
     """Reproduce the a/b/c/d/e analysis; returns the study plus the
     measured AIPC of each named design.  ``ledger_path``/``resume``
-    checkpoint the design-space pass through the sweep harness."""
+    checkpoint the design-space pass through the sweep harness;
+    ``jobs`` parallelises it."""
     designs = list(designs) if designs is not None else viable_designs()
     points = evaluate_design_space(
         designs, names, scale, threaded=True,
-        ledger_path=ledger_path, resume=resume,
+        ledger_path=ledger_path, resume=resume, jobs=jobs,
     )
 
     def perf_of(config: WaveScalarConfig) -> float:

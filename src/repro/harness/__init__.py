@@ -14,6 +14,10 @@ This package provides the pieces:
   budgets for transient failures;
 * :class:`~repro.harness.ledger.Ledger` -- crash-safe JSONL
   checkpointing keyed by cell hash, enabling ``resume``;
+* :mod:`repro.harness.scheduler` -- lane-based parallel execution:
+  independent ``(design, workload)`` lanes fan out across worker
+  processes (``jobs=N``) while the driver stays the single ledger
+  writer;
 * :func:`~repro.harness.sweep.design_space_sweep` -- the resumable
   Pareto-evaluation loop used by ``python -m repro sweep``;
 * :class:`~repro.harness.faults.FaultPlan` -- deterministic fault
@@ -35,6 +39,7 @@ from ..sim.failures import (
 )
 from .faults import FaultPlan
 from .ledger import Ledger, open_ledger, summarize
+from .scheduler import Lane, execute_lanes, static_rejection
 from .spec import SWEEP_MAX_CYCLES, SWEEP_MAX_EVENTS, CellSpec
 from .supervisor import (
     DEFAULT_TIMEOUT_S,
@@ -48,6 +53,7 @@ __all__ = [
     "CellFailure",
     "CellResult",
     "CellSpec",
+    "Lane",
     "CycleBudgetExhausted",
     "DEFAULT_TIMEOUT_S",
     "EventBudgetExhausted",
@@ -67,8 +73,10 @@ __all__ = [
     "classify",
     "design_space_sweep",
     "execute_cell",
+    "execute_lanes",
     "is_transient",
     "open_ledger",
+    "static_rejection",
     "summarize",
     "sweep_cells",
 ]

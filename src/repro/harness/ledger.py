@@ -6,6 +6,12 @@ fsynced, so a SIGKILL of the driver loses at most the line being
 written; :meth:`Ledger.load` tolerates a truncated final line for
 exactly that reason.  Resuming a sweep is then just "skip every cell
 whose hash already has a record".
+
+Concurrency contract: the ledger has exactly ONE writer -- the sweep
+driver.  Parallel workers (see :mod:`repro.harness.scheduler`) never
+touch the file; they ship verdicts back over a queue and the driver
+appends them, batched through :meth:`Ledger.append_many` so a drain of
+N results costs one write + one fsync instead of N.
 """
 
 from __future__ import annotations
@@ -14,7 +20,7 @@ import json
 import os
 import time
 from pathlib import Path
-from typing import Optional
+from typing import Iterable, Optional
 
 from .spec import CellSpec
 
@@ -27,13 +33,23 @@ class Ledger:
 
     def __init__(self, path) -> None:
         self.path = Path(path)
+        #: Corrupt (torn / non-JSON) lines seen by the last ``load()``
+        #: or ``__len__`` scan; a healthy ledger has zero.
+        self.torn_lines = 0
+        # Incremental length accounting: byte offset of the last
+        # complete line scanned, and the distinct hashes seen so far.
+        self._scanned_bytes = 0
+        self._hashes: set[str] = set()
 
     # ------------------------------------------------------------------
     def load(self) -> dict[str, dict]:
         """All records keyed by cell hash; the last record for a hash
-        wins, and a torn trailing line (killed mid-write) is skipped."""
+        wins, and a torn trailing line (killed mid-write) is skipped.
+        The number of skipped lines is left on :attr:`torn_lines`."""
         records: dict[str, dict] = {}
+        torn = 0
         if not self.path.exists():
+            self.torn_lines = 0
             return records
         with self.path.open("r", encoding="utf-8") as fh:
             for line in fh:
@@ -43,22 +59,74 @@ class Ledger:
                 try:
                     record = json.loads(line)
                 except json.JSONDecodeError:
+                    torn += 1
                     continue  # torn write at the kill point
                 cell = record.get("hash")
                 if cell:
                     records[cell] = record
+        self.torn_lines = torn
         return records
 
     def append(self, record: dict) -> None:
+        self.append_many((record,))
+
+    def append_many(self, records: Iterable[dict]) -> None:
+        """Append a batch of records with ONE write + flush + fsync.
+
+        The parallel driver's result-drain loop lands several verdicts
+        per wakeup; batching them keeps the fsync cost per drained
+        batch constant while every line is still durable before the
+        call returns.
+        """
+        lines = "".join(
+            json.dumps(record, sort_keys=True) + "\n" for record in records
+        )
+        if not lines:
+            return
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        line = json.dumps(record, sort_keys=True)
         with self.path.open("a", encoding="utf-8") as fh:
-            fh.write(line + "\n")
+            fh.write(lines)
             fh.flush()
             os.fsync(fh.fileno())
 
     def __len__(self) -> int:
-        return len(self.load())
+        """Distinct cell hashes on disk.
+
+        Incremental: only bytes appended since the previous call are
+        parsed (a progress bar polling ``len(ledger)`` after every cell
+        used to re-read the whole campaign file each time, an O(n^2)
+        scan overall).  A trailing partial line is not counted until a
+        later call sees its terminating newline.
+        """
+        try:
+            size = self.path.stat().st_size
+        except OSError:
+            self._scanned_bytes = 0
+            self._hashes.clear()
+            return 0
+        if size < self._scanned_bytes:  # truncated/replaced: rescan
+            self._scanned_bytes = 0
+            self._hashes.clear()
+        if size == self._scanned_bytes:
+            return len(self._hashes)
+        with self.path.open("rb") as fh:
+            fh.seek(self._scanned_bytes)
+            chunk = fh.read()
+        complete = chunk.rfind(b"\n") + 1
+        for raw in chunk[:complete].splitlines():
+            line = raw.decode("utf-8", errors="replace").strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                self.torn_lines += 1
+                continue
+            cell = record.get("hash")
+            if cell:
+                self._hashes.add(cell)
+        self._scanned_bytes += complete
+        return len(self._hashes)
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -113,12 +181,19 @@ class Ledger:
         }
 
 
-def summarize(records: dict[str, dict]) -> dict[str, int]:
-    """Status counts over a loaded ledger (for reports and tests)."""
+def summarize(records: dict[str, dict], torn_lines: int = 0) -> dict[str, int]:
+    """Status counts over a loaded ledger (for reports and tests).
+
+    ``torn_lines`` (as counted by :meth:`Ledger.load`) is surfaced
+    under its own key when non-zero, so resume diagnostics can report
+    corruption instead of silently dropping it.
+    """
     counts: dict[str, int] = {}
     for record in records.values():
-        counts[record.get("status", "?")] = \
-            counts.get(record.get("status", "?"), 0) + 1
+        status = record.get("status", "?")
+        counts[status] = counts.get(status, 0) + 1
+    if torn_lines:
+        counts["torn_lines"] = torn_lines
     return counts
 
 

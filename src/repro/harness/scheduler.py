@@ -1,0 +1,430 @@
+"""Lane-based parallel execution of sweep cells.
+
+The sweep's unit of parallelism is the *lane*: the ordered cells of
+one ``(design, workload)`` pair.  Within a lane, execution is strictly
+sequential -- thread-count escalation dispatches the next cell only
+after the previous verdict, and a failure stops the lane (more
+threads only add pressure on a design that already failed).  Lanes
+themselves are independent, so the scheduler fans them out across up
+to ``jobs`` long-lived worker processes.
+
+Guarantees carried over from the serial path:
+
+* **single-writer ledger** -- workers never open the ledger file.
+  Verdicts travel back over a result queue and only the driver
+  appends them (batched through :meth:`Ledger.append_many`, still
+  flushed + fsynced), so crash-safety and resume semantics are
+  unchanged: killing the driver loses at most the in-flight cells.
+* **per-lane policy unchanged** -- pre-validation (``invalid``
+  verdicts) runs driver-side before a cell is ever dispatched, and
+  the supervisor's watchdog / budget-escalating retries run inside
+  the worker exactly as they do inline.
+* **order-independent aggregation** -- records are keyed by content
+  hash; callers aggregate in canonical lane order after the fan-out
+  completes, so results are bit-identical to ``jobs=1`` regardless of
+  completion order.
+
+A worker that dies without reporting (OOM killer, external SIGKILL)
+is detected by the driver: its in-flight cell is recorded as a
+``WorkerCrash`` verdict, a replacement worker is spawned, and the
+campaign continues.  Orphaned workers (driver SIGKILLed) notice their
+parent changed and exit instead of leaking.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional
+
+from ..sim.failures import WorkerCrash
+from .ledger import Ledger
+from .spec import CellSpec
+from .supervisor import CellResult, RunSupervisor
+
+#: How long the driver blocks on the result queue before checking
+#: worker health, and how long a worker blocks on its inbox before
+#: checking whether its driver is still alive.
+POLL_S = 0.2
+_ORPHAN_POLL_S = 2.0
+
+
+def static_rejection(spec: CellSpec) -> Optional[list]:
+    """Error-level config diagnostics dooming ``spec``, or ``None``.
+
+    The pre-validation stage of every sweep: an unrealizable
+    configuration (over the die budget, off the clock target,
+    contradictory cache geometry) is caught here, before a subprocess
+    is forked for it -- historically such a cell burned a full
+    watchdog timeout and polluted retry accounting.
+    """
+    from ..analysis import analyze_config
+
+    report = analyze_config(spec.config)
+    return report.errors if report.has_errors else None
+
+
+@dataclass
+class Lane:
+    """One sequential chain of cells (a ``(design, workload)`` pair).
+
+    ``next_spec``/``advance`` form the scheduling protocol: a lane
+    yields its next cell only after the previous cell's record has
+    been fed back, and -- with ``stop_on_failure`` -- a non-``ok``
+    verdict retires the lane early.
+    """
+
+    key: tuple
+    specs: list[CellSpec]
+    stop_on_failure: bool = True
+    cursor: int = 0
+    stopped: bool = False
+
+    def next_spec(self) -> Optional[CellSpec]:
+        if self.stopped or self.cursor >= len(self.specs):
+            return None
+        return self.specs[self.cursor]
+
+    def advance(self, record: dict) -> None:
+        self.cursor += 1
+        if self.stop_on_failure and record.get("status") != "ok":
+            self.stopped = True
+
+    @property
+    def exhausted(self) -> bool:
+        return self.stopped or self.cursor >= len(self.specs)
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+def _failed_result(spec: CellSpec, failure_class: str,
+                   detail: str) -> CellResult:
+    return CellResult(
+        spec=spec, status="failed", attempts=1, retries=0,
+        failure_class=failure_class, failure_detail=detail,
+    )
+
+
+def _worker_main(worker_id: int, inbox, results, supervisor) -> None:
+    """Long-lived worker loop: pull a spec, run it through the
+    supervisor's full policy, ship one ledger record back."""
+    driver_pid = os.getppid()
+    while True:
+        try:
+            spec = inbox.get(timeout=_ORPHAN_POLL_S)
+        except queue.Empty:
+            if os.getppid() != driver_pid:
+                return  # driver died; don't leak
+            continue
+        if spec is None:
+            return
+        try:
+            result = supervisor.run(spec)
+            record = Ledger.record_for(spec, result)
+        except Exception as exc:  # noqa: BLE001 - classify, keep going
+            record = Ledger.record_for(spec, _failed_result(
+                spec, type(exc).__name__, f"{type(exc).__name__}: {exc}",
+            ))
+        results.put((worker_id, record))
+
+
+# ----------------------------------------------------------------------
+# Driver side
+# ----------------------------------------------------------------------
+@dataclass
+class _Worker:
+    process: object
+    inbox: object
+
+
+class _ParallelDriver:
+    """Owns the worker pool and all mutable scheduling state."""
+
+    def __init__(self, lanes, jobs, supervisor, ledger, done, report,
+                 progress, prevalidate, mp_context, poll_s):
+        self.jobs = jobs
+        self.supervisor = supervisor
+        self.ledger = ledger
+        self.done = done
+        self.report = report
+        self.progress = progress
+        self.prevalidate = prevalidate
+        self.poll_s = poll_s
+        if mp_context is None:
+            mp_context = (
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else "spawn"
+            )
+        self.ctx = multiprocessing.get_context(mp_context)
+        self.results = self.ctx.Queue()
+        self.workers: dict[int, _Worker] = {}
+        self.idle: deque[int] = deque()
+        self.assigned: dict[int, str] = {}  # worker id -> cell hash
+        self.inflight: dict[str, tuple[Lane, CellSpec]] = {}
+        self.waiting: dict[str, list[Lane]] = {}  # duplicate-cell parks
+        self.ready: deque[Lane] = deque(lanes)
+        self._next_wid = 0
+
+    # -- pool -----------------------------------------------------------
+    def _spawn(self) -> None:
+        wid = self._next_wid
+        self._next_wid += 1
+        inbox = self.ctx.Queue()
+        process = self.ctx.Process(
+            target=_worker_main,
+            args=(wid, inbox, self.results, self.supervisor),
+            daemon=False,  # supervisors fork grandchildren
+            name=f"sweep-worker-{wid}",
+        )
+        process.start()
+        self.workers[wid] = _Worker(process, inbox)
+        self.idle.append(wid)
+
+    def _shutdown(self) -> None:
+        for worker in self.workers.values():
+            try:
+                worker.inbox.put(None)
+            except (OSError, ValueError):
+                pass
+        deadline = time.monotonic() + 10.0
+        for worker in self.workers.values():
+            worker.process.join(max(0.1, deadline - time.monotonic()))
+            if worker.process.is_alive():
+                worker.process.kill()
+                worker.process.join(1.0)
+            worker.inbox.cancel_join_thread()
+            worker.inbox.close()
+        self.results.cancel_join_thread()
+        self.results.close()
+        self.workers.clear()
+
+    # -- scheduling -----------------------------------------------------
+    def _next_dispatch(self, lane: Lane) -> Optional[tuple[str, CellSpec]]:
+        """Advance ``lane`` through every cell the driver can resolve
+        itself (resume hits, duplicates, pre-validation rejects);
+        return the first cell needing a worker, or ``None`` when the
+        lane is exhausted or parked behind an in-flight duplicate."""
+        while True:
+            spec = lane.next_spec()
+            if spec is None:
+                return None
+            cell = spec.cell_hash()
+            record = self.done.get(cell)
+            if record is not None:
+                self.report.skipped += 1
+                if self.progress is not None:
+                    self.progress(spec, record)
+                lane.advance(record)
+                continue
+            if cell in self.inflight:
+                self.waiting.setdefault(cell, []).append(lane)
+                return None
+            if self.prevalidate:
+                rejected = static_rejection(spec)
+                if rejected is not None:
+                    record = Ledger.record_invalid(spec, rejected)
+                    self.report.invalid += 1
+                    if self.ledger is not None:
+                        self.ledger.append(record)
+                    self.done[cell] = record
+                    if self.progress is not None:
+                        self.progress(spec, record)
+                    lane.advance(record)
+                    continue
+            return cell, spec
+
+    def _pump(self) -> None:
+        """Keep every idle worker fed while ready lanes remain."""
+        while self.idle and self.ready:
+            lane = self.ready.popleft()
+            dispatch = self._next_dispatch(lane)
+            if dispatch is None:
+                continue
+            cell, spec = dispatch
+            wid = self.idle.popleft()
+            self.inflight[cell] = (lane, spec)
+            self.assigned[wid] = cell
+            self.workers[wid].inbox.put(spec)
+
+    def _drain(self, block: bool) -> list[tuple[int, dict]]:
+        batch: list[tuple[int, dict]] = []
+        if block:
+            try:
+                batch.append(self.results.get(timeout=self.poll_s))
+            except queue.Empty:
+                return batch
+        while True:
+            try:
+                batch.append(self.results.get_nowait())
+            except queue.Empty:
+                return batch
+
+    def _resolve(self, cell: str, record: dict) -> None:
+        """Feed one verdict into its lane (and any parked duplicates)."""
+        lane, spec = self.inflight.pop(cell)
+        self.done[cell] = record
+        if record.get("status") == "ok":
+            self.report.completed += 1
+        else:
+            self.report.failed += 1
+        self.report.retried += record.get("retries", 0)
+        if self.progress is not None:
+            self.progress(spec, record)
+        lane.advance(record)
+        if not lane.exhausted:
+            self.ready.append(lane)
+        for parked in self.waiting.pop(cell, ()):
+            self.report.skipped += 1
+            if self.progress is not None:
+                self.progress(parked.next_spec(), record)
+            parked.advance(record)
+            if not parked.exhausted:
+                self.ready.append(parked)
+
+    def _commit(self, batch: list[tuple[int, dict]]) -> None:
+        if self.ledger is not None:
+            self.ledger.append_many([record for _, record in batch])
+        for wid, record in batch:
+            cell = self.assigned.pop(wid, None)
+            if wid in self.workers:
+                self.idle.append(wid)
+            if cell is None or cell not in self.inflight:
+                continue  # late result from an already-reaped worker
+            self._resolve(cell, record)
+
+    def _reap(self) -> None:
+        """Detect dead workers; their in-flight cell becomes a
+        ``WorkerCrash`` verdict and the pool is refilled."""
+        dead = [wid for wid, worker in self.workers.items()
+                if not worker.process.is_alive()]
+        if not dead:
+            return
+        # A worker may have shipped its result just before dying:
+        # process anything already queued before declaring crashes.
+        batch = self._drain(block=False)
+        if batch:
+            self._commit(batch)
+        for wid in dead:
+            worker = self.workers.pop(wid, None)
+            if worker is None:
+                continue
+            try:
+                self.idle.remove(wid)
+            except ValueError:
+                pass
+            cell = self.assigned.pop(wid, None)
+            if cell is not None and cell in self.inflight:
+                _, spec = self.inflight[cell]
+                record = Ledger.record_for(spec, _failed_result(
+                    spec, WorkerCrash.__name__,
+                    f"{spec.describe()}: scheduler worker {wid} (pid "
+                    f"{worker.process.pid}) died with exit code "
+                    f"{worker.process.exitcode}",
+                ))
+                if self.ledger is not None:
+                    self.ledger.append(record)
+                self._resolve(cell, record)
+            self._spawn()
+        self._pump()
+
+    # -- main loop ------------------------------------------------------
+    def run(self) -> None:
+        try:
+            for _ in range(self.jobs):
+                self._spawn()
+            self._pump()
+            while self.inflight:
+                batch = self._drain(block=True)
+                if batch:
+                    self._commit(batch)
+                    self._pump()
+                else:
+                    self._reap()
+        finally:
+            self._shutdown()
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+def _execute_serial(lanes, supervisor, ledger, done, report, progress,
+                    prevalidate) -> None:
+    """The historical one-cell-at-a-time loop (``jobs=1``)."""
+    for lane in lanes:
+        while True:
+            spec = lane.next_spec()
+            if spec is None:
+                break
+            cell = spec.cell_hash()
+            record = done.get(cell)
+            if record is not None:
+                report.skipped += 1
+            else:
+                rejected = static_rejection(spec) if prevalidate else None
+                if rejected is not None:
+                    record = Ledger.record_invalid(spec, rejected)
+                    report.invalid += 1
+                else:
+                    result = supervisor.run(spec)
+                    record = Ledger.record_for(spec, result)
+                    report.retried += result.retries
+                    if result.ok:
+                        report.completed += 1
+                    else:
+                        report.failed += 1
+                if ledger is not None:
+                    ledger.append(record)
+                done[cell] = record
+            if progress is not None:
+                progress(spec, record)
+            lane.advance(record)
+
+
+def execute_lanes(
+    lanes: Iterable[Lane],
+    *,
+    jobs: Optional[int] = 1,
+    supervisor=None,
+    ledger: Optional[Ledger] = None,
+    done: Optional[dict[str, dict]] = None,
+    report=None,
+    progress: Optional[Callable[[CellSpec, dict], None]] = None,
+    prevalidate: bool = True,
+    mp_context: Optional[str] = None,
+    poll_s: float = POLL_S,
+) -> dict[str, dict]:
+    """Run every lane to exhaustion; returns the records-by-hash map.
+
+    ``jobs=1`` executes lanes in order on the calling process --
+    byte-for-byte the behavior of the historical serial sweep.
+    ``jobs>1`` (or ``jobs=None``/``0`` for ``os.cpu_count()``) fans
+    lanes out across worker processes; completion order then varies
+    but the produced record set does not.  ``done`` (resumed records)
+    is updated in place and returned.
+    """
+    lanes = [lane for lane in lanes if not lane.exhausted]
+    supervisor = supervisor if supervisor is not None else RunSupervisor()
+    if done is None:
+        done = {}
+    if report is None:
+        from .sweep import SweepReport
+
+        report = SweepReport()
+    if not jobs:
+        jobs = os.cpu_count() or 1
+    jobs = min(jobs, len(lanes)) if lanes else 0
+    if jobs <= 1:
+        _execute_serial(lanes, supervisor, ledger, done, report,
+                        progress, prevalidate)
+    else:
+        _ParallelDriver(
+            lanes, jobs, supervisor, ledger, done, report, progress,
+            prevalidate, mp_context, poll_s,
+        ).run()
+    return done

@@ -111,7 +111,16 @@ class CellResult:
 
 
 class RunSupervisor:
-    """Executes cells with isolation, a watchdog, and retry policy."""
+    """Executes cells with isolation, a watchdog, and retry policy.
+
+    Concurrency contract: a supervisor holds *no* per-run mutable
+    state -- :meth:`run` builds everything it needs per attempt -- so
+    one instance may execute cells concurrently from several threads,
+    or be shipped to the scheduler's worker processes and run one lane
+    each.  Instances pickle cleanly (the multiprocessing context is
+    rebuilt by name on unpickle), which is what lets the parallel
+    scheduler hand the *same* policy object to every worker.
+    """
 
     def __init__(
         self,
@@ -136,7 +145,29 @@ class RunSupervisor:
                 if "fork" in multiprocessing.get_all_start_methods()
                 else "spawn"
             )
+        self.mp_context = mp_context
         self._ctx = multiprocessing.get_context(mp_context)
+
+    # ------------------------------------------------------------------
+    def clone_kwargs(self) -> dict:
+        """Constructor kwargs reproducing this supervisor's policy
+        (for building an equivalent instance in a worker process)."""
+        return {
+            "timeout_s": self.timeout_s,
+            "max_retries": self.max_retries,
+            "escalation": self.escalation,
+            "isolation": self.isolation,
+            "mp_context": self.mp_context,
+        }
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_ctx"]  # contexts don't pickle; rebuilt by name
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._ctx = multiprocessing.get_context(self.mp_context)
 
     # ------------------------------------------------------------------
     def run(self, spec: CellSpec) -> CellResult:

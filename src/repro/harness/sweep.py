@@ -8,6 +8,15 @@ cells are keyed by content hash, an interrupted campaign -- even one
 whose driver was SIGKILLed -- resumes with ``resume=True`` and
 re-simulates nothing that already has a record.
 
+Execution is organised into *lanes* (one per ``(design, workload)``
+pair, sequential within, independent across) so ``jobs=N`` fans the
+campaign out over N worker processes through
+:mod:`repro.harness.scheduler` while the driver remains the single
+ledger writer.  Aggregation walks the lanes in canonical order over
+the content-hash-keyed record map, so the returned
+:class:`~repro.design.pareto.ParetoPoint` list is identical for any
+``jobs`` value and any completion order.
+
 Aggregation mirrors the paper's method (and the historical in-process
 code path): per workload the best-performing thread count wins, a
 failed workload scores zero AIPC, and a design's suite score is the
@@ -23,8 +32,17 @@ from ..design.pareto import ParetoPoint
 from ..design.space import DesignPoint
 from ..workloads.base import Scale
 from .ledger import Ledger
+from .scheduler import Lane, execute_lanes, static_rejection
 from .spec import SWEEP_MAX_CYCLES, SWEEP_MAX_EVENTS, CellSpec
-from .supervisor import CellResult, RunSupervisor
+from .supervisor import RunSupervisor
+
+__all__ = [
+    "CellFailure",
+    "SweepReport",
+    "design_space_sweep",
+    "static_rejection",
+    "sweep_cells",
+]
 
 
 @dataclass
@@ -55,6 +73,7 @@ class SweepReport:
     invalid: int = 0  # cells statically rejected, never simulated
     retried: int = 0  # total retry attempts across cells
     skipped: int = 0  # cells resumed from the ledger, not re-simulated
+    torn_lines: int = 0  # corrupt ledger lines seen while resuming
     failures: list[CellFailure] = field(default_factory=list)
 
     @property
@@ -62,61 +81,15 @@ class SweepReport:
         return self.completed + self.failed + self.invalid + self.skipped
 
     def summary(self) -> str:
+        torn = (
+            f" [{self.torn_lines} torn ledger line(s) skipped]"
+            if self.torn_lines else ""
+        )
         return (
             f"cells: {self.completed} completed / {self.failed} failed "
             f"/ {self.invalid} invalid / {self.retried} retried "
-            f"/ {self.skipped} resumed ({self.total} total)"
+            f"/ {self.skipped} resumed ({self.total} total){torn}"
         )
-
-
-def static_rejection(spec: CellSpec) -> Optional[list]:
-    """Error-level config diagnostics dooming ``spec``, or ``None``.
-
-    The pre-validation stage of every sweep: an unrealizable
-    configuration (over the die budget, off the clock target,
-    contradictory cache geometry) is caught here, before a subprocess
-    is forked for it -- historically such a cell burned a full
-    watchdog timeout and polluted retry accounting.
-    """
-    from ..analysis import analyze_config
-
-    report = analyze_config(spec.config)
-    return report.errors if report.has_errors else None
-
-
-def _cell_record(
-    spec: CellSpec,
-    done: dict[str, dict],
-    supervisor: RunSupervisor,
-    ledger: Optional[Ledger],
-    report: SweepReport,
-    progress: Optional[Callable[[CellSpec, dict], None]],
-    prevalidate: bool = True,
-) -> dict:
-    """Run (or resume) one cell and account for it."""
-    cell = spec.cell_hash()
-    record = done.get(cell)
-    if record is not None:
-        report.skipped += 1
-    else:
-        rejected = static_rejection(spec) if prevalidate else None
-        if rejected is not None:
-            record = Ledger.record_invalid(spec, rejected)
-            report.invalid += 1
-        else:
-            result: CellResult = supervisor.run(spec)
-            record = Ledger.record_for(spec, result)
-            report.retried += result.retries
-            if result.ok:
-                report.completed += 1
-            else:
-                report.failed += 1
-        if ledger is not None:
-            ledger.append(record)
-        done[cell] = record
-    if progress is not None:
-        progress(spec, record)
-    return record
 
 
 def sweep_cells(
@@ -127,19 +100,126 @@ def sweep_cells(
     supervisor: Optional[RunSupervisor] = None,
     progress: Optional[Callable[[CellSpec, dict], None]] = None,
     prevalidate: bool = True,
+    jobs: Optional[int] = 1,
 ) -> tuple[dict[str, dict], SweepReport]:
-    """Run an explicit cell list; returns (records by hash, report)."""
-    supervisor = supervisor or RunSupervisor()
+    """Run an explicit cell list; returns (records by hash, report).
+
+    Cells here are mutually independent, so each becomes its own
+    single-cell lane and ``jobs>1`` runs them fully concurrently.
+    """
+    specs = list(specs)
+    supervisor = supervisor if supervisor is not None else RunSupervisor()
     ledger = Ledger(ledger_path) if ledger_path else None
     done = ledger.load() if (ledger is not None and resume) else {}
     report = SweepReport()
-    records: dict[str, dict] = {}
-    for spec in specs:
-        records[spec.cell_hash()] = _cell_record(
-            spec, done, supervisor, ledger, report, progress,
-            prevalidate=prevalidate,
-        )
+    if ledger is not None:
+        report.torn_lines = ledger.torn_lines
+    lanes = [
+        Lane(key=(index,), specs=[spec])
+        for index, spec in enumerate(specs)
+    ]
+    execute_lanes(
+        lanes, jobs=jobs, supervisor=supervisor, ledger=ledger,
+        done=done, report=report, progress=progress,
+        prevalidate=prevalidate,
+    )
+    records = {spec.cell_hash(): done[spec.cell_hash()] for spec in specs}
     return records, report
+
+
+# ----------------------------------------------------------------------
+# The Figure 6/7 evaluation loop
+# ----------------------------------------------------------------------
+def build_lanes(
+    designs: Sequence[DesignPoint],
+    names: Sequence[str],
+    scale: Scale,
+    threaded: bool,
+    candidates: Sequence[int],
+    max_cycles: int,
+    max_events: int,
+) -> list[Lane]:
+    """One lane per ``(design, workload)`` pair, in canonical
+    design-major order.  A lane's cells are its thread-count
+    escalation sequence; the lane protocol stops probing upward after
+    the first failure, exactly like the historical serial loop."""
+    from ..core.experiments import feasible_thread_counts
+    from ..workloads.registry import get
+
+    lanes: list[Lane] = []
+    feasible_memo: dict[str, Sequence[Optional[int]]] = {}
+    for design_index, design in enumerate(designs):
+        for name in names:
+            workload = get(name)
+            if threaded and workload.multithreaded:
+                if name not in feasible_memo:
+                    feasible_memo[name] = feasible_thread_counts(
+                        workload, scale, candidates
+                    )
+                thread_counts: Sequence[Optional[int]] = \
+                    feasible_memo[name]
+            else:
+                thread_counts = (None,)
+            lanes.append(Lane(
+                key=(design_index, name),
+                specs=[
+                    CellSpec(
+                        config=design.config, workload=name,
+                        scale=scale.value, threads=threads,
+                        max_cycles=max_cycles, max_events=max_events,
+                    )
+                    for threads in thread_counts
+                ],
+            ))
+    return lanes
+
+
+def _aggregate(
+    designs: Sequence[DesignPoint],
+    names: Sequence[str],
+    lanes: Sequence[Lane],
+    records: dict[str, dict],
+    report: SweepReport,
+) -> list[ParetoPoint]:
+    """Fold the record map back into per-design Pareto points.
+
+    Pure function of (lanes, records): runs after all execution, so
+    the result is independent of cell completion order.  Failures are
+    appended to ``report`` in canonical lane order -- the same order
+    the serial driver historically emitted them in.
+    """
+    points: list[ParetoPoint] = []
+    for design_index, design in enumerate(designs):
+        config = design.config
+        per_workload: list[float] = []
+        for name_index, name in enumerate(names):
+            lane = lanes[design_index * len(names) + name_index]
+            best: Optional[float] = None
+            for spec in lane.specs:
+                record = records.get(spec.cell_hash())
+                if record is None:
+                    break  # never ran: an earlier cell stopped the lane
+                if record["status"] == "ok":
+                    aipc = record.get("aipc", 0.0)
+                    best = aipc if best is None else max(best, aipc)
+                else:
+                    report.failures.append(CellFailure(
+                        config=config.describe(), workload=name,
+                        threads=spec.threads,
+                        failure_class=record.get("failure_class", "?"),
+                        detail=record.get("failure_detail") or "",
+                    ))
+                    # More threads only add pressure on a design that
+                    # already failed; the lane stopped probing here.
+                    break
+            per_workload.append(best or 0.0)
+        aipc = sum(per_workload) / len(per_workload) if per_workload \
+            else 0.0
+        points.append(ParetoPoint(
+            label=config.describe(), area=design.area_mm2,
+            performance=aipc, payload=config,
+        ))
+    return points
 
 
 def design_space_sweep(
@@ -160,16 +240,16 @@ def design_space_sweep(
     supervisor: Optional[RunSupervisor] = None,
     progress: Optional[Callable[[CellSpec, dict], None]] = None,
     prevalidate: bool = True,
+    jobs: Optional[int] = 1,
 ) -> tuple[list[ParetoPoint], SweepReport]:
     """The fault-tolerant Figure 6/7 evaluation loop.
 
     Every ``(design, workload, threads)`` cell runs supervised; the
     returned points are identical in shape to
-    ``repro.core.experiments.evaluate_design_space``.
+    ``repro.core.experiments.evaluate_design_space`` -- and identical
+    in value for every ``jobs`` setting (``1`` = serial in-process,
+    ``N>1`` = N worker processes, ``None``/``0`` = one per core).
     """
-    from ..core.experiments import feasible_thread_counts
-    from ..workloads.registry import get
-
     if supervisor is None:
         kwargs = {} if timeout_s is None else {"timeout_s": timeout_s}
         supervisor = RunSupervisor(
@@ -179,47 +259,16 @@ def design_space_sweep(
     ledger = Ledger(ledger_path) if ledger_path else None
     done = ledger.load() if (ledger is not None and resume) else {}
     report = SweepReport()
-    points: list[ParetoPoint] = []
-
-    for design in designs:
-        config = design.config
-        per_workload: list[float] = []
-        for name in names:
-            workload = get(name)
-            if threaded and workload.multithreaded:
-                thread_counts: Sequence[Optional[int]] = \
-                    feasible_thread_counts(workload, scale, candidates)
-            else:
-                thread_counts = (None,)
-            best: Optional[float] = None
-            for threads in thread_counts:
-                spec = CellSpec(
-                    config=config, workload=name, scale=scale.value,
-                    threads=threads, max_cycles=max_cycles,
-                    max_events=max_events,
-                )
-                record = _cell_record(
-                    spec, done, supervisor, ledger, report, progress,
-                    prevalidate=prevalidate,
-                )
-                if record["status"] == "ok":
-                    aipc = record.get("aipc", 0.0)
-                    best = aipc if best is None else max(best, aipc)
-                else:
-                    report.failures.append(CellFailure(
-                        config=config.describe(), workload=name,
-                        threads=threads,
-                        failure_class=record.get("failure_class", "?"),
-                        detail=record.get("failure_detail") or "",
-                    ))
-                    # More threads only add pressure on a design that
-                    # already failed; stop probing upward.
-                    break
-            per_workload.append(best or 0.0)
-        aipc = sum(per_workload) / len(per_workload) if per_workload \
-            else 0.0
-        points.append(ParetoPoint(
-            label=config.describe(), area=design.area_mm2,
-            performance=aipc, payload=config,
-        ))
+    if ledger is not None:
+        report.torn_lines = ledger.torn_lines
+    lanes = build_lanes(
+        designs, names, scale, threaded, candidates, max_cycles,
+        max_events,
+    )
+    records = execute_lanes(
+        lanes, jobs=jobs, supervisor=supervisor, ledger=ledger,
+        done=done, report=report, progress=progress,
+        prevalidate=prevalidate,
+    )
+    points = _aggregate(designs, names, lanes, records, report)
     return points, report

@@ -77,7 +77,16 @@ class Route:
 
 
 class Interconnect:
-    """Latency/bandwidth model of the full hierarchy."""
+    """Latency/bandwidth model of the full hierarchy.
+
+    Routing decomposes into a *static* part -- the level between two
+    PEs, the dimension-order link sequence between two clusters, the
+    base latencies -- and a *dynamic* part, the bandwidth-ledger
+    reservations.  The static part is pure topology math, identical
+    for every message between the same endpoints, so it is memoised
+    per ``(src, dst)`` pair: the per-token hot path reduces to a dict
+    hit plus the reservations that actually depend on ``cycle``.
+    """
 
     def __init__(self, config: WaveScalarConfig, stats: SimStats) -> None:
         self.config = config
@@ -96,6 +105,15 @@ class Interconnect:
         # Mesh links: per (cluster, direction) with `mesh_bandwidth`
         # ops/cycle.  Directions: 0=E 1=W 2=N 3=S.
         self._mesh_links: dict[tuple[int, int], BandwidthLedger] = {}
+        # Static-topology memos (pure functions of the endpoints).
+        self._total_pes = p.total_pes
+        self._pes_per_domain = p.pes_per_domain
+        self._pes_per_cluster = p.pes_per_cluster
+        self._pods_enabled = p.pods_enabled
+        self._pod_route = Route("pod", p.pod_latency, 0, 0)
+        self._level_cache: dict[int, str] = {}
+        self._mesh_paths: \
+            dict[int, tuple[tuple[BandwidthLedger, ...], int]] = {}
 
     # ------------------------------------------------------------------
     # Topology helpers
@@ -104,13 +122,21 @@ class Interconnect:
         return pe // 2
 
     def domain_of(self, pe: int) -> int:
-        return pe // self.config.pes_per_domain
+        return pe // self._pes_per_domain
 
     def cluster_of(self, pe: int) -> int:
-        return pe // self.config.pes_per_cluster
+        return pe // self._pes_per_cluster
 
     def level_between(self, src_pe: int, dst_pe: int) -> str:
-        if self.config.pods_enabled and self.pod_of(src_pe) == self.pod_of(
+        key = src_pe * self._total_pes + dst_pe
+        level = self._level_cache.get(key)
+        if level is None:
+            level = self._classify(src_pe, dst_pe)
+            self._level_cache[key] = level
+        return level
+
+    def _classify(self, src_pe: int, dst_pe: int) -> str:
+        if self._pods_enabled and self.pod_of(src_pe) == self.pod_of(
             dst_pe
         ):
             return "pod"
@@ -130,34 +156,44 @@ class Interconnect:
             self._mesh_links[key] = ledger
         return ledger
 
-    def _route_mesh(self, src_cluster: int, dst_cluster: int,
-                    cycle: int) -> tuple[int, int, int]:
-        """Dimension-order (X then Y) routing; returns (ready_cycle,
-        hops, queue_wait)."""
+    def _mesh_path(
+        self, src_cluster: int, dst_cluster: int
+    ) -> tuple[tuple[BandwidthLedger, ...], int]:
+        """The dimension-order (X then Y) link sequence between two
+        clusters -- static topology, computed once per pair."""
+        key = src_cluster * self.config.clusters + dst_cluster
+        cached = self._mesh_paths.get(key)
+        if cached is not None:
+            return cached
         cfg = self.config
         x0, y0 = cfg.cluster_xy(src_cluster)
         x1, y1 = cfg.cluster_xy(dst_cluster)
         cols, _ = cfg.grid_shape
-        t = cycle
-        wait = 0
-        hops = 0
+        links: list[BandwidthLedger] = []
         cx, cy = x0, y0
         while cx != x1:
             direction = 0 if x1 > cx else 1
-            cluster = cy * cols + cx
-            granted = self._mesh_link(cluster, direction).reserve(t)
-            wait += granted - t
-            t = granted + 1  # one cycle per hop
+            links.append(self._mesh_link(cy * cols + cx, direction))
             cx += 1 if x1 > cx else -1
-            hops += 1
         while cy != y1:
             direction = 3 if y1 > cy else 2
-            cluster = cy * cols + cx
-            granted = self._mesh_link(cluster, direction).reserve(t)
-            wait += granted - t
-            t = granted + 1
+            links.append(self._mesh_link(cy * cols + cx, direction))
             cy += 1 if y1 > cy else -1
-            hops += 1
+        cached = (tuple(links), len(links))
+        self._mesh_paths[key] = cached
+        return cached
+
+    def _route_mesh(self, src_cluster: int, dst_cluster: int,
+                    cycle: int) -> tuple[int, int, int]:
+        """Reserve each link of the (memoised) dimension-order path;
+        returns (ready_cycle, hops, queue_wait)."""
+        links, hops = self._mesh_path(src_cluster, dst_cluster)
+        t = cycle
+        wait = 0
+        for link in links:
+            granted = link.reserve(t)
+            wait += granted - t
+            t = granted + 1  # one cycle per hop
         return t, hops, wait
 
     # ------------------------------------------------------------------
@@ -175,7 +211,7 @@ class Interconnect:
         level = self.level_between(src_pe, dst_pe)
 
         if level == "pod":
-            route = Route("pod", cfg.pod_latency, 0, 0)
+            route = self._pod_route
             self.stats.record_message(kind, "pod", route.latency)
             return route
 

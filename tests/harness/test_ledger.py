@@ -70,6 +70,67 @@ def test_missing_file_loads_empty(tmp_path):
     assert Ledger(tmp_path / "nope.jsonl").load() == {}
 
 
+def test_append_many_batches_records(tmp_path):
+    """One drain batch = one write; records land like N appends."""
+    ledger = Ledger(tmp_path / "runs.jsonl")
+    ledger.append_many([
+        {"hash": f"h{i}", "status": "ok", "aipc": float(i)}
+        for i in range(5)
+    ])
+    ledger.append_many([])  # no-op, must not create/extend the file
+    records = ledger.load()
+    assert set(records) == {f"h{i}" for i in range(5)}
+    assert len(ledger) == 5
+
+
+def test_len_is_incremental(tmp_path):
+    """__len__ parses only bytes appended since the previous call
+    (and still counts distinct hashes, last record winning)."""
+    path = tmp_path / "runs.jsonl"
+    ledger = Ledger(path)
+    assert len(ledger) == 0
+    ledger.append({"hash": "aaa", "status": "ok"})
+    ledger.append({"hash": "bbb", "status": "ok"})
+    assert len(ledger) == 2
+    scanned = ledger._scanned_bytes
+    ledger.append({"hash": "aaa", "status": "failed"})  # duplicate hash
+    ledger.append({"hash": "ccc", "status": "ok"})
+    assert len(ledger) == 3
+    assert ledger._scanned_bytes > scanned
+    # A trailing partial line is not counted until its newline lands.
+    with path.open("a") as fh:
+        fh.write('{"hash": "ddd", "status": "o')
+    assert len(ledger) == 3
+    with path.open("a") as fh:
+        fh.write('k"}\n')
+    assert len(ledger) == 4
+
+
+def test_len_rescans_truncated_file(tmp_path):
+    path = tmp_path / "runs.jsonl"
+    ledger = Ledger(path)
+    for i in range(4):
+        ledger.append({"hash": f"h{i}", "status": "ok"})
+    assert len(ledger) == 4
+    path.write_text('{"hash": "only", "status": "ok"}\n')
+    assert len(ledger) == 1
+
+
+def test_load_counts_torn_lines_for_summarize(tmp_path):
+    path = tmp_path / "runs.jsonl"
+    ledger = Ledger(path)
+    ledger.append({"hash": "aaa", "status": "ok"})
+    with path.open("a") as fh:
+        fh.write('{"hash": "bbb", "status": "o\n')  # corrupt line
+        fh.write('{"hash": "ccc"')  # torn tail
+    records = ledger.load()
+    assert ledger.torn_lines == 2
+    counts = summarize(records, torn_lines=ledger.torn_lines)
+    assert counts == {"ok": 1, "torn_lines": 2}
+    # Without corruption the key stays absent (back-compat).
+    assert summarize(records) == {"ok": 1}
+
+
 # ----------------------------------------------------------------------
 # Sweeps against the ledger
 # ----------------------------------------------------------------------

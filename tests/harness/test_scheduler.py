@@ -1,0 +1,306 @@
+"""Parallel sweep scheduler: correctness under jobs>1.
+
+The contract: for any ``jobs`` value the sweep produces identical
+``ParetoPoint``s and identical ledger verdicts to the serial path --
+only wall-clock changes.  These tests run the same campaigns at
+``jobs=1`` and ``jobs=4`` and diff everything observable, then cover
+the failure semantics unique to the parallel driver: lane stop under
+concurrency, pre-validation before dispatch, dead-worker reaping, and
+SIGKILL of the driver mid-campaign (kill-and-resume).
+"""
+
+import json
+import multiprocessing
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.area.model import chip_area
+from repro.core import WaveScalarConfig
+from repro.design import DesignPoint
+from repro.harness import (
+    CellSpec,
+    FaultPlan,
+    Lane,
+    Ledger,
+    RunSupervisor,
+    design_space_sweep,
+    execute_lanes,
+    sweep_cells,
+)
+from repro.harness import scheduler as scheduler_mod
+from repro.harness.sweep import SweepReport
+from repro.workloads import Scale
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+CONFIGS = [
+    WaveScalarConfig(clusters=1, l1_kb=8),
+    WaveScalarConfig(clusters=1, l1_kb=8, l2_mb=1),
+    WaveScalarConfig(clusters=1, l2_mb=1),
+]
+NAMES = ("mcf", "gzip", "ammp")
+
+
+def designs_for(*configs):
+    return [DesignPoint(config=c, area_mm2=chip_area(c)) for c in configs]
+
+
+def verdicts(path) -> dict[str, tuple]:
+    """hash -> (status, aipc, failure_class) for every ledger record."""
+    return {
+        h: (r["status"], r.get("aipc"), r.get("failure_class"))
+        for h, r in Ledger(path).load().items()
+    }
+
+
+def run_sweep(jobs, ledger_path=None, **kw):
+    defaults = dict(
+        scale=Scale.TINY, supervisor=RunSupervisor(isolation="inline"),
+    )
+    defaults.update(kw)
+    return design_space_sweep(
+        designs_for(*CONFIGS), NAMES, ledger_path=ledger_path,
+        jobs=jobs, **defaults,
+    )
+
+
+# ----------------------------------------------------------------------
+# jobs=4 == jobs=1, observably
+# ----------------------------------------------------------------------
+def test_parallel_matches_serial(tmp_path):
+    serial_points, serial_report = run_sweep(1, tmp_path / "serial.jsonl")
+    par_points, par_report = run_sweep(4, tmp_path / "par.jsonl")
+
+    assert par_points == serial_points
+    assert verdicts(tmp_path / "par.jsonl") == \
+        verdicts(tmp_path / "serial.jsonl")
+    for attr in ("completed", "failed", "invalid", "retried", "skipped"):
+        assert getattr(par_report, attr) == getattr(serial_report, attr)
+    assert par_report.failures == serial_report.failures
+
+
+def test_parallel_matches_serial_with_failures(tmp_path):
+    """Budget-starved cells fail identically under concurrency, and
+    the failure list comes out in canonical (serial) order."""
+    kw = dict(max_cycles=50, prevalidate=False)
+    serial_points, serial_report = run_sweep(
+        1, tmp_path / "serial.jsonl", **kw
+    )
+    par_points, par_report = run_sweep(4, tmp_path / "par.jsonl", **kw)
+
+    assert par_points == serial_points
+    assert all(p.performance == 0.0 for p in par_points)
+    assert par_report.failures == serial_report.failures
+    assert par_report.failed == serial_report.failed == 9
+    assert verdicts(tmp_path / "par.jsonl") == \
+        verdicts(tmp_path / "serial.jsonl")
+
+
+def test_parallel_threaded_lane_stops_on_failure(tmp_path):
+    """Thread escalation within a lane stays sequential: after a
+    failed thread count, higher counts are never simulated."""
+    design = designs_for(WaveScalarConfig(clusters=1, l2_mb=1))
+    kw = dict(
+        scale=Scale.TINY, threaded=True, candidates=(1, 2, 4),
+        max_cycles=50, prevalidate=False,
+        supervisor=RunSupervisor(isolation="inline"),
+    )
+    s_points, s_report = design_space_sweep(
+        design, ("fft",), ledger_path=tmp_path / "s.jsonl", jobs=1, **kw
+    )
+    p_points, p_report = design_space_sweep(
+        design, ("fft",), ledger_path=tmp_path / "p.jsonl", jobs=4, **kw
+    )
+    assert p_points == s_points
+    par = Ledger(tmp_path / "p.jsonl").load()
+    ser = Ledger(tmp_path / "s.jsonl").load()
+    assert set(par) == set(ser)
+    # The lane stopped at threads=1: exactly one cell per path.
+    assert len(par) == 1
+    (record,) = par.values()
+    assert record["threads"] == 1 and record["status"] == "failed"
+
+
+def test_parallel_resume_skips_finished_cells(tmp_path):
+    path = tmp_path / "runs.jsonl"
+    _, first = run_sweep(4, path)
+    assert first.completed == 9
+    points, resumed = run_sweep(4, path, resume=True)
+    assert resumed.completed == 0 and resumed.skipped == 9
+    assert all(p.performance > 0 for p in points)
+
+
+def test_parallel_prevalidation_never_dispatches(tmp_path):
+    """Statically doomed configs are rejected driver-side: no worker
+    ever simulates them, even at jobs=4."""
+    doomed = WaveScalarConfig(matching_entries=256)  # breaks 20 FO4
+    points, report = design_space_sweep(
+        designs_for(doomed, *CONFIGS[:1]), ("mcf", "gzip"),
+        scale=Scale.TINY, ledger_path=tmp_path / "runs.jsonl", jobs=4,
+        supervisor=RunSupervisor(isolation="inline"),
+    )
+    assert report.invalid == 2 and report.completed == 2
+    records = Ledger(tmp_path / "runs.jsonl").load()
+    invalid = [r for r in records.values() if r["status"] == "invalid"]
+    assert len(invalid) == 2
+    assert all(r["attempts"] == 0 for r in invalid)
+    assert points[0].performance == 0.0 and points[1].performance > 0
+
+
+def test_duplicate_cells_deduplicated_across_lanes(tmp_path):
+    """Two lanes carrying the same cell share one simulation: the
+    second lane parks on the in-flight duplicate, then resumes with
+    the shared record (counted as skipped, like the serial path)."""
+    spec = CellSpec(config=CONFIGS[0], workload="mcf", scale="tiny")
+    records, report = sweep_cells(
+        [spec, spec, spec], ledger_path=tmp_path / "runs.jsonl",
+        supervisor=RunSupervisor(isolation="inline"), jobs=4,
+    )
+    assert report.completed == 1 and report.skipped == 2
+    assert len(Ledger(tmp_path / "runs.jsonl").load()) == 1
+
+
+# ----------------------------------------------------------------------
+# Failure semantics under concurrency
+# ----------------------------------------------------------------------
+def test_supervisor_policy_runs_inside_workers(tmp_path):
+    """Watchdog + retry policy execute per-lane inside the worker
+    exactly as they do serially: a hung cell is killed and recorded
+    while other lanes complete."""
+    specs = [
+        CellSpec(config=CONFIGS[0], workload="mcf", scale="tiny",
+                 faults=FaultPlan(wall_sleep_per_event_s=0.25)),
+        CellSpec(config=CONFIGS[0], workload="gzip", scale="tiny"),
+    ]
+    records, report = sweep_cells(
+        specs, ledger_path=tmp_path / "runs.jsonl",
+        supervisor=RunSupervisor(isolation="process", timeout_s=1.0),
+        jobs=2,
+    )
+    assert report.completed == 1 and report.failed == 1
+    hung = records[specs[0].cell_hash()]
+    assert hung["status"] == "failed"
+    assert hung["failure_class"] == "WatchdogTimeout"
+
+
+def test_dead_worker_is_reaped_and_replaced(monkeypatch, tmp_path):
+    """A worker that dies without reporting (OOM-kill stand-in) turns
+    its in-flight cell into a WorkerCrash verdict; the pool refills
+    and the campaign still terminates."""
+    if "fork" not in multiprocessing.get_all_start_methods():
+        pytest.skip("needs fork to inherit the monkeypatched worker")
+
+    def dying_worker(worker_id, inbox, results, supervisor):
+        inbox.get()
+        os._exit(13)
+
+    monkeypatch.setattr(scheduler_mod, "_worker_main", dying_worker)
+    lanes = [
+        Lane(key=(i,), specs=[
+            CellSpec(config=CONFIGS[i], workload="mcf", scale="tiny")
+        ])
+        for i in range(2)
+    ]
+    ledger = Ledger(tmp_path / "runs.jsonl")
+    report = SweepReport()
+    records = execute_lanes(
+        lanes, jobs=2, supervisor=RunSupervisor(isolation="inline"),
+        ledger=ledger, report=report, mp_context="fork", poll_s=0.05,
+    )
+    assert report.failed == 2
+    assert all(
+        r["failure_class"] == "WorkerCrash" and "exit code 13" in
+        r["failure_detail"]
+        for r in records.values()
+    )
+    assert len(ledger.load()) == 2
+
+
+# ----------------------------------------------------------------------
+# Kill-and-resume, parallel edition: SIGKILL the whole driver group
+# ----------------------------------------------------------------------
+DRIVER = """
+import sys
+from repro.area.model import chip_area
+from repro.core import WaveScalarConfig
+from repro.design import DesignPoint
+from repro.harness import RunSupervisor, design_space_sweep
+from repro.workloads import Scale
+
+configs = [
+    WaveScalarConfig(clusters=1, l1_kb=8),
+    WaveScalarConfig(clusters=1, l1_kb=8, l2_mb=1),
+    WaveScalarConfig(clusters=1, l2_mb=1),
+]
+designs = [DesignPoint(config=c, area_mm2=chip_area(c)) for c in configs]
+design_space_sweep(
+    designs, ("mcf", "gzip", "ammp"), scale=Scale.TINY,
+    ledger_path=sys.argv[1], resume=True, jobs=4,
+    supervisor=RunSupervisor(isolation="inline"),
+)
+"""
+
+
+def test_parallel_kill_and_resume(tmp_path):
+    """SIGKILL a jobs=4 driver (and its workers) mid-campaign: only
+    in-flight cells are lost, and the resumed jobs=4 sweep
+    re-simulates exactly those."""
+    path = tmp_path / "runs.jsonl"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    driver = subprocess.Popen(
+        [sys.executable, "-c", DRIVER, str(path)],
+        env=env, cwd=REPO_ROOT, start_new_session=True,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    try:
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            if path.exists() and len(path.read_text().splitlines()) >= 2:
+                break
+            if driver.poll() is not None:
+                break
+            time.sleep(0.02)
+        else:
+            pytest.fail("driver produced no ledger records in time")
+    finally:
+        if driver.poll() is None:
+            # The workers share the driver's session: kill the group
+            # so no orphaned worker outlives the test.
+            os.killpg(driver.pid, signal.SIGKILL)
+        driver.wait()
+
+    survived = Ledger(path).load()
+    assert survived, "no checkpointed cells survived the kill"
+    for record in survived.values():
+        assert record["status"] == "ok"
+
+    points, report = design_space_sweep(
+        designs_for(*CONFIGS), NAMES, scale=Scale.TINY,
+        ledger_path=path, resume=True, jobs=4,
+        supervisor=RunSupervisor(isolation="inline"),
+    )
+    # At most the in-flight cells were lost; only those re-simulate.
+    assert report.skipped == len(survived)
+    assert report.total == 9
+    assert report.completed == 9 - len(survived)
+    assert len(points) == 3
+    assert all(p.performance > 0 for p in points)
+    # Every cell has exactly one complete record (a torn line at the
+    # kill point is not a record and was re-simulated).
+    lines = []
+    for line in path.read_text().splitlines():
+        try:
+            lines.append(json.loads(line))
+        except json.JSONDecodeError:
+            pass
+    assert len(lines) == 9
+    assert len({record["hash"] for record in lines}) == 9

@@ -155,3 +155,56 @@ def test_mesh_routes_are_dimension_ordered():
     for dst_cluster in (1, 4, 5, 15):
         r = net.route(0, pes * dst_cluster, 1000 + dst_cluster, "operand")
         assert r.hops == config.cluster_distance(0, dst_cluster)
+
+
+# ----------------------------------------------------------------------
+# Static-topology memoisation (hot-path caching)
+# ----------------------------------------------------------------------
+def test_level_cache_matches_fresh_classification():
+    """Memoised level_between answers agree with an unwarmed
+    instance for every PE pair, and repeat lookups hit the cache."""
+    net, config, _ = make_net(clusters=4)
+    fresh, _, _ = make_net(clusters=4)
+    pairs = [(s, d) for s in range(config.total_pes)
+             for d in range(0, config.total_pes, 7)]
+    for src, dst in pairs:
+        assert net.level_between(src, dst) == fresh._classify(src, dst)
+    # Second pass is answered purely from the cache.
+    cached = len(net._level_cache)
+    for src, dst in pairs:
+        net.level_between(src, dst)
+    assert len(net._level_cache) == cached
+
+
+def test_mesh_path_memoised_per_cluster_pair():
+    """The dimension-order link sequence is computed once per
+    (src, dst) cluster pair; hops always equal Manhattan distance."""
+    net, config, _ = make_net(clusters=16)
+    for src in range(config.clusters):
+        for dst in range(config.clusters):
+            links, hops = net._mesh_path(src, dst)
+            assert hops == len(links) == config.cluster_distance(src, dst)
+            # The memo returns the identical object on re-query.
+            assert net._mesh_path(src, dst) is not None
+            assert net._mesh_path(src, dst) == (links, hops)
+    assert len(net._mesh_paths) == config.clusters ** 2
+
+
+def test_cached_routes_still_model_contention():
+    """Memoisation covers only the static component: repeated
+    messages over the same warm path still queue on bandwidth."""
+    net, config, stats = make_net(clusters=4, mesh_bandwidth=1)
+    pes = config.pes_per_cluster
+    net.route(0, pes, 0, "operand")  # warm the (0 -> 1) path
+    lat = [net.route(i, pes + i, 10, "operand").latency for i in range(6)]
+    assert len(net._mesh_paths) == 1
+    assert lat[-1] > lat[0]
+    assert stats.mesh_queue_wait_sum > 0
+
+
+def test_pod_route_reused_not_rebuilt():
+    net, config, _ = make_net()
+    first = net.route(0, 1, 0, "operand")
+    second = net.route(2, 3, 50, "operand")
+    assert first is second  # constant-cost route: one shared object
+    assert first.latency == config.pod_latency
