@@ -12,6 +12,9 @@ Usage::
     python -m repro lint examples/ --check-config
     python -m repro lint all --json
     python -m repro trace --workload mcf --events 40
+    python -m repro trace --workload mcf --trace-out trace.json
+    python -m repro run --workload fft --profile
+    python -m repro stats sweep.jsonl
 
 Every command is a thin veneer over the library; anything the CLI
 prints can be recomputed through :mod:`repro.core`.
@@ -93,10 +96,20 @@ def cmd_run(args: argparse.Namespace) -> int:
         from .analysis import RuntimeSanitizer
 
         sanitizer = RuntimeSanitizer()
+    trace = None
+    if args.trace_out:
+        from .sim.trace import Trace
+
+        trace = Trace()
+    profile = None
+    if args.profile:
+        from .obs import PhaseProfile
+
+        profile = PhaseProfile()
     result = proc.run_workload(
         workload, scale=Scale[args.scale.upper()], threads=threads,
         k=args.k, seed=args.seed, sanitizer=sanitizer,
-        strict=not args.sanitize,
+        strict=not args.sanitize, trace=trace, profile=profile,
     )
     print(result.summary())
     fr = result.stats.traffic_fractions()
@@ -105,6 +118,15 @@ def cmd_run(args: argparse.Namespace) -> int:
         f"cluster {fr['cluster']:.0%} / grid {fr['grid']:.1%}"
     )
     print(f"outputs: {result.outputs()}")
+    if trace is not None:
+        written = trace.to_chrome(args.trace_out)
+        print(_trace_capture_line(trace))
+        print(f"chrome trace: {args.trace_out} ({written} trace "
+              f"events; open in https://ui.perfetto.dev)")
+    if profile is not None:
+        print()
+        print("hot-loop phase profile:")
+        print(profile.render())
     if sanitizer is not None:
         print()
         print(sanitizer.report().render())
@@ -207,10 +229,27 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     # inside a worker process, so "inline" still isolates the driver).
     isolation = "process" if (args.ledger or args.timeout_s is not None) \
         else "inline"
+    progress = None
+    if args.progress:
+        from .obs import ThroughputMeter
+
+        # The lane count is a lower bound on cells (thread escalation
+        # adds more), so the ETA is optimistic for threaded suites;
+        # the driver's own meter in the final summary is exact.
+        meter = ThroughputMeter(
+            total=None if threaded else len(designs) * len(names)
+        )
+
+        def progress(spec, record):
+            meter.note()
+            status = record.get("status", "?")
+            print(f"  [{meter.render()}] {spec.describe()}: {status}")
+
     points, report = design_space_sweep(
         designs, names, scale=Scale[args.scale.upper()],
         threaded=threaded, ledger_path=args.ledger, resume=args.resume,
         timeout_s=args.timeout_s, isolation=isolation, jobs=jobs,
+        progress=progress,
     )
     if args.save:
         from .design import dump_points
@@ -227,8 +266,12 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         for failure in report.failures:
             print(f"  {failure.render()}")
     if args.ledger:
-        print(f"ledger: {args.ledger}")
+        print(f"ledger: {args.ledger} (inspect with `repro stats "
+              f"{args.ledger}`)")
     print(report.summary())
+    metrics = report.metrics_summary()
+    if metrics:
+        print(metrics)
     return 0
 
 
@@ -269,7 +312,8 @@ def cmd_report(args: argparse.Namespace) -> int:
     from .report import generate_report
 
     text = generate_report(
-        scale=Scale[args.scale.upper()], sample=args.sample
+        scale=Scale[args.scale.upper()], sample=args.sample,
+        ledger_path=args.ledger,
     )
     if args.output:
         from pathlib import Path
@@ -279,6 +323,32 @@ def cmd_report(args: argparse.Namespace) -> int:
     else:
         print(text)
     return 0
+
+
+def _trace_capture_line(trace) -> str:
+    """One honest line about what the bounded trace kept.
+
+    ``Trace.dropped`` used to be silently swallowed here: a truncated
+    trace printed like a complete one.  Now every capture reports its
+    limit, policy, and drop count.
+    """
+    line = (
+        f"trace captured {len(trace.events)} events "
+        f"(limit {trace.limit}, policy {trace.policy})"
+    )
+    if trace.dropped:
+        if trace.policy == "drop_newest":
+            kept, hint = "first", (
+                "raise the limit, or use policy drop-oldest to keep "
+                "the end of the run"
+            )
+        else:
+            kept, hint = "last", "raise the limit to keep more"
+        line += (
+            f"; {trace.dropped} events DROPPED -- only the {kept} "
+            f"{len(trace.events)} were kept ({hint})"
+        )
+    return line
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -293,12 +363,47 @@ def cmd_trace(args: argparse.Namespace) -> int:
         scale=Scale[args.scale.upper()], threads=threads, seed=args.seed
     )
     engine = Engine(graph, config, place(graph, config))
-    engine.trace = Trace()
+    engine.trace = Trace(
+        limit=args.limit, policy=args.policy.replace("-", "_")
+    )
     engine.run()
-    events = engine.trace.events[: args.events]
+    trace = engine.trace
+    events = list(trace.events)[: args.events]
     for e in events:
         print(e.render())
-    print(f"... showing {len(events)} of {len(engine.trace.events)} events")
+    print(f"... showing {len(events)} of {len(trace.events)} events")
+    print(_trace_capture_line(trace))
+    if args.trace_out:
+        written = trace.to_chrome(args.trace_out)
+        print(f"chrome trace: {args.trace_out} ({written} trace "
+              f"events; open in https://ui.perfetto.dev)")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    from .harness.ledger import Ledger, summarize
+    from .obs import aggregate_records
+
+    ledger = Ledger(args.ledger)
+    if not ledger.path.exists():
+        print(f"error: no ledger at {args.ledger}", file=sys.stderr)
+        return 2
+    records = ledger.load()
+    if not records:
+        print(f"error: {args.ledger} holds no records", file=sys.stderr)
+        return 2
+    registry = aggregate_records(records.values())
+    if args.json:
+        import json
+
+        document = registry.to_dict()
+        document["statuses"] = summarize(records, ledger.torn_lines)
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0
+    print(f"ledger: {args.ledger} ({len(records)} cells)")
+    if ledger.torn_lines:
+        print(f"warning: {ledger.torn_lines} torn ledger line(s) skipped")
+    print(registry.render("sweep metrics:"))
     return 0
 
 
@@ -326,6 +431,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="audit runtime invariants (token "
                             "conservation, matching-table leaks, queue "
                             "bounds); violations exit non-zero")
+    p_run.add_argument("--trace-out", default=None, dest="trace_out",
+                       metavar="PATH",
+                       help="record a pipeline trace and export it as "
+                            "Chrome trace-event JSON (open in Perfetto)")
+    p_run.add_argument("--profile", action="store_true",
+                       help="attribute hot-loop time to pipeline "
+                            "phases (input/match/dispatch/execute/"
+                            "deliver) and print the table")
 
     p_area = sub.add_parser("area", help="area/timing breakdown")
     _add_config_args(p_area)
@@ -352,6 +465,9 @@ def build_parser() -> argparse.ArgumentParser:
                          dest="timeout_s", metavar="S",
                          help="wall-clock watchdog per cell; a hung "
                               "run is killed and recorded")
+    p_sweep.add_argument("--progress", action="store_true",
+                         help="print one line per resolved cell with "
+                              "running cells/s and ETA")
     p_sweep.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
                          help="worker processes for the sweep (1 = "
                               "serial, 0 = one per core); lanes of "
@@ -405,6 +521,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--sample", type=int, default=8,
                           help="evaluate every Nth design")
     p_report.add_argument("--output", "-o", default=None)
+    p_report.add_argument(
+        "--ledger", default=None,
+        help="append a campaign-observability section aggregated from "
+             "this sweep ledger",
+    )
 
     p_trace = sub.add_parser("trace", help="pipeline event trace")
     _add_config_args(p_trace)
@@ -415,6 +536,28 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=[s.value for s in Scale])
     p_trace.add_argument("--events", type=int, default=60)
     p_trace.add_argument("--seed", type=int, default=0)
+    p_trace.add_argument("--limit", type=int, default=100_000,
+                         help="trace capacity; events beyond it are "
+                              "dropped per --policy and reported")
+    p_trace.add_argument("--policy", default="drop-newest",
+                         choices=("drop-newest", "drop-oldest"),
+                         help="at capacity, drop-newest keeps the "
+                              "first --limit events (run start); "
+                              "drop-oldest is a ring buffer keeping "
+                              "the last --limit (run end)")
+    p_trace.add_argument("--trace-out", default=None, dest="trace_out",
+                         metavar="PATH",
+                         help="also export the trace as Chrome "
+                              "trace-event JSON (open in Perfetto)")
+
+    p_stats = sub.add_parser(
+        "stats", help="aggregate observability metrics from a sweep "
+                      "ledger"
+    )
+    p_stats.add_argument("ledger", metavar="LEDGER",
+                         help="JSONL ledger written by sweep --ledger")
+    p_stats.add_argument("--json", action="store_true",
+                         help="emit the aggregated registry as JSON")
 
     return parser
 
@@ -427,6 +570,7 @@ COMMANDS = {
     "sweep": cmd_sweep,
     "lint": cmd_lint,
     "trace": cmd_trace,
+    "stats": cmd_stats,
     "report": cmd_report,
     "characterize": cmd_characterize,
     "tune": cmd_tune,

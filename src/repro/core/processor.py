@@ -70,6 +70,8 @@ class WaveScalarProcessor:
         threads: Optional[int] = None,
         faults=None,
         sanitizer=None,
+        trace=None,
+        profile=None,
     ) -> SimulationResult:
         """Execute ``graph`` and return the full result bundle.
 
@@ -81,7 +83,11 @@ class WaveScalarProcessor:
         :class:`~repro.analysis.RuntimeSanitizer` that audits token
         conservation, matching-table leaks, and queue bounds (query it
         after the run -- pair with ``strict=False`` to collect
-        violations instead of raising on deadlock).
+        violations instead of raising on deadlock); ``trace`` attaches
+        a :class:`~repro.sim.trace.Trace` recording pipeline events
+        (export with ``trace.to_chrome(path)``); ``profile`` attaches
+        a :class:`~repro.obs.PhaseProfile` attributing hot-loop time
+        to pipeline phases.
         """
         if k is not None:
             graph = set_k_bound(graph, k)
@@ -95,6 +101,10 @@ class WaveScalarProcessor:
             engine.faults = faults
         if sanitizer is not None:
             engine.sanitizer = sanitizer
+        if trace is not None:
+            engine.trace = trace
+        if profile is not None:
+            engine.profile = profile
         stats = engine.run(strict=strict)
         return SimulationResult(
             program=graph.name,
@@ -116,6 +126,8 @@ class WaveScalarProcessor:
         faults=None,
         sanitizer=None,
         strict: bool = True,
+        trace=None,
+        profile=None,
     ) -> SimulationResult:
         """Instantiate and execute one registry workload.
 
@@ -123,15 +135,16 @@ class WaveScalarProcessor:
         against the workload's pure-Python reference; a mismatch raises
         ``AssertionError`` -- a simulator correctness bug, never a
         performance matter.  An active ``faults`` plan skips the check:
-        injected faults corrupt outputs by design.  ``sanitizer`` and
-        ``strict`` pass through to :meth:`run`.
+        injected faults corrupt outputs by design.  ``sanitizer``,
+        ``strict``, ``trace``, and ``profile`` pass through to
+        :meth:`run`.
         """
         graph = workload.instantiate(
             scale=scale, threads=threads, k=k, seed=seed
         )
         result = self.run(
             graph, threads=threads, faults=faults, sanitizer=sanitizer,
-            strict=strict,
+            strict=strict, trace=trace, profile=profile,
         )
         if faults is not None:
             check = False

@@ -154,6 +154,13 @@ class Ledger:
             record["failure_detail"] = result.failure_detail
             if result.diagnostics is not None:
                 record["diagnostics"] = result.diagnostics
+        # Every record carries a metrics block (see repro.obs.metrics):
+        # successful cells get theirs from the outcome payload; failed
+        # cells still record the wall time they burned, so campaign
+        # aggregation accounts for failures too.
+        metrics = dict(record.get("metrics") or {})
+        metrics.setdefault("wall_s", round(result.wall_s, 6))
+        record["metrics"] = metrics
         return record
 
     @staticmethod

@@ -170,6 +170,17 @@ class _ParallelDriver:
         self.waiting: dict[str, list[Lane]] = {}  # duplicate-cell parks
         self.ready: deque[Lane] = deque(lanes)
         self._next_wid = 0
+        # Scheduler observability (see repro.obs): dispatch counts and
+        # busy spans per worker, pool churn, and queue-depth high
+        # water marks, folded into report.metrics["scheduler"].
+        self._dispatched = 0
+        self._busy_s = 0.0
+        self._assigned_at: dict[int, float] = {}
+        self._spawned = 0
+        self._reaped = 0
+        self._max_ready = len(self.ready)
+        self._max_inflight = 0
+        self._started = time.monotonic()
 
     # -- pool -----------------------------------------------------------
     def _spawn(self) -> None:
@@ -185,6 +196,7 @@ class _ParallelDriver:
         process.start()
         self.workers[wid] = _Worker(process, inbox)
         self.idle.append(wid)
+        self._spawned += 1
 
     def _shutdown(self) -> None:
         for worker in self.workers.values():
@@ -241,6 +253,8 @@ class _ParallelDriver:
 
     def _pump(self) -> None:
         """Keep every idle worker fed while ready lanes remain."""
+        if len(self.ready) > self._max_ready:
+            self._max_ready = len(self.ready)
         while self.idle and self.ready:
             lane = self.ready.popleft()
             dispatch = self._next_dispatch(lane)
@@ -251,6 +265,10 @@ class _ParallelDriver:
             self.inflight[cell] = (lane, spec)
             self.assigned[wid] = cell
             self.workers[wid].inbox.put(spec)
+            self._dispatched += 1
+            self._assigned_at[wid] = time.monotonic()
+        if len(self.inflight) > self._max_inflight:
+            self._max_inflight = len(self.inflight)
 
     def _drain(self, block: bool) -> list[tuple[int, dict]]:
         batch: list[tuple[int, dict]] = []
@@ -292,6 +310,9 @@ class _ParallelDriver:
             self.ledger.append_many([record for _, record in batch])
         for wid, record in batch:
             cell = self.assigned.pop(wid, None)
+            assigned_at = self._assigned_at.pop(wid, None)
+            if assigned_at is not None:
+                self._busy_s += time.monotonic() - assigned_at
             if wid in self.workers:
                 self.idle.append(wid)
             if cell is None or cell not in self.inflight:
@@ -314,11 +335,15 @@ class _ParallelDriver:
             worker = self.workers.pop(wid, None)
             if worker is None:
                 continue
+            self._reaped += 1
             try:
                 self.idle.remove(wid)
             except ValueError:
                 pass
             cell = self.assigned.pop(wid, None)
+            assigned_at = self._assigned_at.pop(wid, None)
+            if assigned_at is not None:
+                self._busy_s += time.monotonic() - assigned_at
             if cell is not None and cell in self.inflight:
                 _, spec = self.inflight[cell]
                 record = Ledger.record_for(spec, _failed_result(
@@ -332,6 +357,27 @@ class _ParallelDriver:
                 self._resolve(cell, record)
             self._spawn()
         self._pump()
+
+    def _metrics(self) -> dict:
+        """The scheduler's observability block: worker utilization,
+        queue depths, pool churn.  Wall-clock derived, so explicitly
+        outside the bit-identical-for-any-jobs contract (which covers
+        the per-cell ``metrics`` blocks on ledger records)."""
+        elapsed = time.monotonic() - self._started
+        capacity = self.jobs * elapsed
+        return {
+            "mode": "parallel",
+            "workers": self.jobs,
+            "workers_spawned": self._spawned,
+            "workers_reaped": self._reaped,
+            "dispatched": self._dispatched,
+            "busy_s": round(self._busy_s, 3),
+            "wall_s": round(elapsed, 3),
+            "utilization": round(self._busy_s / capacity, 4)
+            if capacity > 0 else 0.0,
+            "max_ready_lanes": self._max_ready,
+            "max_inflight": self._max_inflight,
+        }
 
     # -- main loop ------------------------------------------------------
     def run(self) -> None:
@@ -348,6 +394,8 @@ class _ParallelDriver:
                     self._reap()
         finally:
             self._shutdown()
+            if hasattr(self.report, "metrics"):
+                self.report.metrics["scheduler"] = self._metrics()
 
 
 # ----------------------------------------------------------------------
@@ -356,6 +404,9 @@ class _ParallelDriver:
 def _execute_serial(lanes, supervisor, ledger, done, report, progress,
                     prevalidate) -> None:
     """The historical one-cell-at-a-time loop (``jobs=1``)."""
+    started = time.monotonic()
+    busy_s = 0.0
+    dispatched = 0
     for lane in lanes:
         while True:
             spec = lane.next_spec()
@@ -371,7 +422,10 @@ def _execute_serial(lanes, supervisor, ledger, done, report, progress,
                     record = Ledger.record_invalid(spec, rejected)
                     report.invalid += 1
                 else:
+                    dispatched += 1
+                    attempt_started = time.monotonic()
                     result = supervisor.run(spec)
+                    busy_s += time.monotonic() - attempt_started
                     record = Ledger.record_for(spec, result)
                     report.retried += result.retries
                     if result.ok:
@@ -384,6 +438,21 @@ def _execute_serial(lanes, supervisor, ledger, done, report, progress,
             if progress is not None:
                 progress(spec, record)
             lane.advance(record)
+    if hasattr(report, "metrics"):
+        elapsed = time.monotonic() - started
+        report.metrics["scheduler"] = {
+            "mode": "serial",
+            "workers": 1,
+            "workers_spawned": 0,
+            "workers_reaped": 0,
+            "dispatched": dispatched,
+            "busy_s": round(busy_s, 3),
+            "wall_s": round(elapsed, 3),
+            "utilization": round(busy_s / elapsed, 4)
+            if elapsed > 0 else 0.0,
+            "max_ready_lanes": len(lanes),
+            "max_inflight": 1 if dispatched else 0,
+        }
 
 
 def execute_lanes(

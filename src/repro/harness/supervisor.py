@@ -38,9 +38,15 @@ def execute_cell(spec: CellSpec) -> dict:
     """Run one cell to completion in the current process.
 
     Returns the flat, JSON-serialisable success payload; failures
-    propagate as taxonomy exceptions for the caller to classify.
+    propagate as taxonomy exceptions for the caller to classify.  The
+    payload's ``metrics`` block carries the cell's observability
+    series: wall time and event throughput (wall-clock, excluded from
+    determinism guarantees) plus the deterministic simulation counters
+    (events, cycles, dispatches, messages) that ``repro stats`` and
+    :class:`~repro.harness.sweep.SweepReport` aggregate.
     """
     from ..core.processor import WaveScalarProcessor
+    from ..obs.metrics import cell_metrics
     from ..workloads.base import Scale
     from ..workloads.registry import get
 
@@ -50,10 +56,12 @@ def execute_cell(spec: CellSpec) -> dict:
         spec.config, max_cycles=spec.max_cycles,
         max_events=spec.max_events,
     )
+    started = time.perf_counter()
     result = proc.run_workload(
         workload, scale=Scale(spec.scale), threads=threads, k=spec.k,
         seed=spec.seed, faults=spec.faults,
     )
+    wall_s = time.perf_counter() - started
     return {
         "status": "ok",
         "aipc": result.aipc,
@@ -62,6 +70,7 @@ def execute_cell(spec: CellSpec) -> dict:
         "area_mm2": result.area_mm2,
         "dynamic_instructions": result.stats.dynamic_instructions,
         "alpha_instructions": result.stats.alpha_instructions,
+        "metrics": cell_metrics(result.stats, wall_s),
     }
 
 
@@ -108,6 +117,18 @@ class CellResult:
     @property
     def aipc(self) -> float:
         return self.outcome.get("aipc", 0.0)
+
+    @property
+    def metrics(self) -> dict:
+        """The cell's observability block (wall time, event
+        throughput, deterministic simulation counters); empty for
+        failed cells."""
+        return self.outcome.get("metrics", {})
+
+    @property
+    def events_per_s(self) -> float:
+        """Simulation event throughput of the successful attempt."""
+        return self.metrics.get("events_per_s", 0.0)
 
 
 class RunSupervisor:

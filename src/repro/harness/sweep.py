@@ -30,6 +30,7 @@ from typing import Callable, Iterable, Optional, Sequence
 
 from ..design.pareto import ParetoPoint
 from ..design.space import DesignPoint
+from ..obs.metrics import ThroughputMeter
 from ..workloads.base import Scale
 from .ledger import Ledger
 from .scheduler import Lane, execute_lanes, static_rejection
@@ -75,6 +76,12 @@ class SweepReport:
     skipped: int = 0  # cells resumed from the ledger, not re-simulated
     torn_lines: int = 0  # corrupt ledger lines seen while resuming
     failures: list[CellFailure] = field(default_factory=list)
+    #: Observability blocks keyed by subsystem: ``"scheduler"``
+    #: (worker utilization, queue depths, reap counts -- filled by
+    #: :mod:`repro.harness.scheduler`) and ``"sweep"`` (wall time,
+    #: cells per second -- filled by the sweep driver).  Wall-clock
+    #: derived, so excluded from the jobs-independence contract.
+    metrics: dict = field(default_factory=dict)
 
     @property
     def total(self) -> int:
@@ -90,6 +97,54 @@ class SweepReport:
             f"/ {self.invalid} invalid / {self.retried} retried "
             f"/ {self.skipped} resumed ({self.total} total){torn}"
         )
+
+    def metrics_summary(self) -> str:
+        """One line per observability block, or '' when none were
+        collected (e.g. a report built by hand in tests)."""
+        lines = []
+        sweep = self.metrics.get("sweep")
+        if sweep:
+            lines.append(
+                f"throughput: {sweep['cells_per_s']:.2f} cells/s "
+                f"({sweep['cells']} cells in {sweep['wall_s']:.1f}s)"
+            )
+        sched = self.metrics.get("scheduler")
+        if sched:
+            lines.append(
+                f"scheduler: {sched['workers']} worker(s) "
+                f"{sched['utilization']:.0%} busy, "
+                f"{sched['dispatched']} dispatched, "
+                f"{sched['workers_reaped']} reaped"
+            )
+        return "\n".join(lines)
+
+
+def _metered(
+    lanes: Sequence[Lane],
+    progress: Optional[Callable[[CellSpec, dict], None]],
+) -> tuple[ThroughputMeter, Callable[[CellSpec, dict], None]]:
+    """A throughput meter over every plannable cell, chained in front
+    of the caller's progress callback.  The lane protocol can finish
+    early (stop-on-failure), so the planned total is an upper bound
+    and the ETA is conservative."""
+    meter = ThroughputMeter(total=sum(len(lane.specs) for lane in lanes))
+
+    def _note(spec: CellSpec, record: dict) -> None:
+        meter.note()
+        if progress is not None:
+            progress(spec, record)
+
+    return meter, _note
+
+
+def _finish_sweep_metrics(report: SweepReport,
+                          meter: ThroughputMeter) -> None:
+    report.metrics["sweep"] = {
+        "wall_s": round(meter.elapsed_s, 3),
+        "cells": meter.done,
+        "planned_cells": meter.total,
+        "cells_per_s": round(meter.rate(), 3),
+    }
 
 
 def sweep_cells(
@@ -118,11 +173,13 @@ def sweep_cells(
         Lane(key=(index,), specs=[spec])
         for index, spec in enumerate(specs)
     ]
+    meter, noted = _metered(lanes, progress)
     execute_lanes(
         lanes, jobs=jobs, supervisor=supervisor, ledger=ledger,
-        done=done, report=report, progress=progress,
+        done=done, report=report, progress=noted,
         prevalidate=prevalidate,
     )
+    _finish_sweep_metrics(report, meter)
     records = {spec.cell_hash(): done[spec.cell_hash()] for spec in specs}
     return records, report
 
@@ -265,10 +322,12 @@ def design_space_sweep(
         designs, names, scale, threaded, candidates, max_cycles,
         max_events,
     )
+    meter, noted = _metered(lanes, progress)
     records = execute_lanes(
         lanes, jobs=jobs, supervisor=supervisor, ledger=ledger,
-        done=done, report=report, progress=progress,
+        done=done, report=report, progress=noted,
         prevalidate=prevalidate,
     )
+    _finish_sweep_metrics(report, meter)
     points = _aggregate(designs, names, lanes, records, report)
     return points, report

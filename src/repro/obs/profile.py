@@ -1,0 +1,106 @@
+"""Opt-in per-phase cycle attribution of the engine hot loop.
+
+Attach a :class:`PhaseProfile` to an engine before running::
+
+    engine.profile = PhaseProfile()
+    engine.run()
+    print(engine.profile.render())
+
+The engine brackets each hot-loop region with :meth:`PhaseProfile.push`
+/ :meth:`PhaseProfile.pop`; nested regions attribute *self time* (a
+push inside an open region subtracts its span from the parent), so the
+reported nanoseconds sum to the loop's wall time without double
+counting.  Phases mirror the paper's pipeline stages:
+
+=========  ======================================================
+input      token arrival: istore residency, store decoupling
+match      matching-table insert / fire decision
+dispatch   bandwidth reservation + result steering
+execute    ALU/FPU evaluation (:func:`repro.isa.semantics.evaluate`)
+deliver    operand routing and token posting
+memory     store-buffer submit and completion fan-out
+other      ifetch fills, wave retirement bookkeeping
+=========  ======================================================
+
+Cost contract: profiling is **opt-in**.  With no profile attached the
+engine runs its uninstrumented loop twin and the profiled wrappers are
+never installed, so the disabled hot path carries *no* hook code --
+``benchmarks/test_simulator_performance.py`` enforces the <2% bound
+against an engine with the profiling machinery compiled out entirely.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter_ns
+
+#: Phase names in pipeline order (render order).
+PHASES = (
+    "input",
+    "match",
+    "dispatch",
+    "execute",
+    "deliver",
+    "memory",
+    "other",
+)
+
+
+class PhaseProfile:
+    """Self-time attribution over the engine's pipeline phases."""
+
+    __slots__ = ("ns", "calls", "_stack")
+
+    def __init__(self) -> None:
+        self.ns: dict[str, int] = {phase: 0 for phase in PHASES}
+        self.calls: dict[str, int] = {phase: 0 for phase in PHASES}
+        # Open regions: [phase, start_ns, child_ns].
+        self._stack: list[list] = []
+
+    # -- recording (hot path) ------------------------------------------
+    def push(self, phase: str) -> None:
+        self._stack.append([phase, perf_counter_ns(), 0])
+
+    def pop(self) -> None:
+        phase, started, child_ns = self._stack.pop()
+        span = perf_counter_ns() - started
+        self.ns[phase] = self.ns.get(phase, 0) + span - child_ns
+        self.calls[phase] = self.calls.get(phase, 0) + 1
+        if self._stack:
+            self._stack[-1][2] += span
+
+    # -- reading -------------------------------------------------------
+    @property
+    def total_ns(self) -> int:
+        return sum(self.ns.values())
+
+    def fractions(self) -> dict[str, float]:
+        total = self.total_ns
+        if not total:
+            return {phase: 0.0 for phase in self.ns}
+        return {phase: ns / total for phase, ns in self.ns.items()}
+
+    def to_dict(self) -> dict:
+        return {
+            "ns": dict(self.ns),
+            "calls": dict(self.calls),
+            "total_ns": self.total_ns,
+        }
+
+    def render(self) -> str:
+        total = self.total_ns
+        lines = [
+            f"{'phase':<10}{'calls':>12}{'time':>12}{'share':>8}"
+        ]
+        order = list(PHASES) + sorted(
+            set(self.ns) - set(PHASES)
+        )
+        for phase in order:
+            ns = self.ns.get(phase, 0)
+            calls = self.calls.get(phase, 0)
+            share = ns / total if total else 0.0
+            lines.append(
+                f"{phase:<10}{calls:>12,}{ns / 1e6:>10.2f}ms"
+                f"{share:>8.1%}"
+            )
+        lines.append(f"{'total':<10}{'':>12}{total / 1e6:>10.2f}ms")
+        return "\n".join(lines)

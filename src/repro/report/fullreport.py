@@ -103,12 +103,44 @@ def _traffic_section(scale: Scale) -> str:
     ])
 
 
+def _observability_section(ledger_path) -> str:
+    """Campaign metrics aggregated from a sweep ledger (the same
+    numbers ``repro stats`` prints, in markdown)."""
+    from ..harness.ledger import Ledger, summarize
+    from ..obs.metrics import aggregate_records
+
+    ledger = Ledger(ledger_path)
+    records = ledger.load()
+    lines = ["## Campaign observability", ""]
+    if not records:
+        lines.append(f"No records in `{ledger_path}`.")
+        return "\n".join(lines)
+    statuses = summarize(records, ledger.torn_lines)
+    registry = aggregate_records(records.values())
+    counters = registry.counters
+    lines.append(
+        f"`{ledger_path}`: {len(records)} cells "
+        f"({', '.join(f'{v} {k}' for k, v in sorted(statuses.items()))})."
+    )
+    lines += ["", "| metric | value |", "|---|---|"]
+    for name, value in counters.items():
+        lines.append(f"| {name} | {value:,} |")
+    for name, hist in registry.histograms.items():
+        lines.append(f"| {name} | {hist.render()} |")
+    return "\n".join(lines)
+
+
 def generate_report(
     scale: Scale = Scale.TINY,
     sample: int = 8,
     timestamp: Optional[str] = None,
+    ledger_path=None,
 ) -> str:
-    """Build the full markdown report (pure string; caller writes it)."""
+    """Build the full markdown report (pure string; caller writes it).
+
+    ``ledger_path`` optionally appends a campaign-observability
+    section aggregated from an existing sweep ledger.
+    """
     stamp = timestamp or datetime.now(timezone.utc).strftime(
         "%Y-%m-%d %H:%M UTC"
     )
@@ -119,10 +151,13 @@ def generate_report(
         f"subsample 1/{sample}.  Full regeneration: "
         "`pytest benchmarks/ --benchmark-only`.",
     ])
-    return "\n\n".join([
+    sections = [
         header,
         _area_section(),
         _workload_section(scale),
         _pareto_section(scale, sample),
         _traffic_section(scale),
-    ]) + "\n"
+    ]
+    if ledger_path:
+        sections.append(_observability_section(ledger_path))
+    return "\n\n".join(sections) + "\n"

@@ -44,6 +44,19 @@ from .pe.matching import MatchingTable
 from .stats import SimStats
 from .storebuffer.storebuffer import MemOp, StoreBuffer
 
+#: Event-calendar tag -> profile phase (repro.obs.profile.PHASES).
+#: The finer stages (match, execute, deliver) are attributed by inner
+#: hooks inside the handlers; stack-based self-time accounting in
+#: PhaseProfile keeps the phases disjoint.
+_TAG_PHASE = {
+    "token": "input",
+    "dispatch": "dispatch",
+    "sbaddr": "memory",
+    "sbdata": "memory",
+    "ifetch": "other",
+    "retire": "other",
+}
+
 __all__ = [
     "Engine",
     "SimulationDeadlock",
@@ -57,6 +70,10 @@ __all__ = [
 
 class Engine:
     """One simulation run; construct and call :meth:`run`."""
+
+    #: ALU/FPU evaluation, indirected so :meth:`_install_profile_hooks`
+    #: can shadow it per instance with an "execute"-phase wrapper.
+    _evaluate = staticmethod(evaluate)
 
     def __init__(
         self,
@@ -158,6 +175,15 @@ class Engine:
         #: before run().  None keeps the hot path branch-cheap.
         self.trace = None
 
+        #: Optional hot-loop profiler (repro.obs.profile.PhaseProfile);
+        #: attach before run() for per-phase cycle attribution
+        #: (input/match/dispatch/execute/deliver/memory).  None runs
+        #: the uninstrumented loop twin (_run_plain) with the profiled
+        #: wrappers never installed, so the disabled path carries no
+        #: hook code at all (benchmark-enforced <2% overhead).
+        self.profile = None
+        self._prof = None
+
         #: Optional fault-injection plan (repro.harness.faults
         #: .FaultPlan, duck-typed so the simulator stays free of
         #: harness imports); attach before run().  None keeps the hot
@@ -208,23 +234,58 @@ class Engine:
         if self.sanitizer is not None:
             self.sanitizer.note_entry(len(self.graph.entry_tokens))
         events = self._events
-        processed = 0
         max_events = self.max_events
+        prof = self._prof = self.profile
+        if prof is None:
+            processed = self._run_plain(events, max_events, fault_sleep)
+        else:
+            self._install_profile_hooks(prof)
+            try:
+                processed = self._run_profiled(
+                    events, max_events, fault_sleep, prof
+                )
+            finally:
+                self._uninstall_profile_hooks()
+
+        self.stats.cycles = self._horizon
+        self._events_processed = processed
+        self.stats.events_processed = processed
+        if self.sanitizer is not None:
+            self.sanitizer.finalize(self)
+        if strict:
+            self._check_quiescent()
+        return self.stats
+
+    def _budget_stop(self, processed: int) -> FailureDiagnostics:
+        """Final accounting on a budget-exhaustion raise path."""
+        self._events_processed = processed
+        self.stats.events_processed = processed
+        return self.failure_diagnostics()
+
+    def _run_plain(self, events, max_events: int,
+                   fault_sleep: float) -> int:
+        """The hot loop with zero instrumentation code.
+
+        :meth:`_run_profiled` is its twin with phase attribution; the
+        two must stay semantically identical --
+        ``tests/obs/test_profile.py`` asserts their ASTs match once
+        the profiling statements are stripped.
+        """
+        max_cycles = self.max_cycles
+        processed = 0
         while events:
             cycle, _, tag, payload = heapq.heappop(events)
-            if cycle > self.max_cycles:
-                self._events_processed = processed
+            if cycle > max_cycles:
                 raise CycleBudgetExhausted(
-                    f"{self.graph.name}: exceeded {self.max_cycles} cycles",
-                    self.failure_diagnostics(),
+                    f"{self.graph.name}: exceeded {max_cycles} cycles",
+                    self._budget_stop(processed),
                 )
             processed += 1
             if processed > max_events:
-                self._events_processed = processed
                 raise EventBudgetExhausted(
                     f"{self.graph.name}: exceeded {max_events} events at "
                     f"cycle {cycle} (thrashing)",
-                    self.failure_diagnostics(),
+                    self._budget_stop(processed),
                 )
             if fault_sleep:
                 time.sleep(fault_sleep)
@@ -245,14 +306,96 @@ class Engine:
                 self._on_retire(cycle, *payload)
             else:  # pragma: no cover - defensive
                 raise AssertionError(f"unknown event {tag}")
+        return processed
 
-        self.stats.cycles = self._horizon
-        self._events_processed = processed
-        if self.sanitizer is not None:
-            self.sanitizer.finalize(self)
-        if strict:
-            self._check_quiescent()
-        return self.stats
+    def _run_profiled(self, events, max_events: int, fault_sleep: float,
+                      prof) -> int:
+        """:meth:`_run_plain` with per-event phase attribution (the
+        finer match/execute/deliver spans come from the wrappers that
+        :meth:`_install_profile_hooks` shadowed in)."""
+        max_cycles = self.max_cycles
+        processed = 0
+        while events:
+            cycle, _, tag, payload = heapq.heappop(events)
+            if cycle > max_cycles:
+                raise CycleBudgetExhausted(
+                    f"{self.graph.name}: exceeded {max_cycles} cycles",
+                    self._budget_stop(processed),
+                )
+            processed += 1
+            if processed > max_events:
+                raise EventBudgetExhausted(
+                    f"{self.graph.name}: exceeded {max_events} events at "
+                    f"cycle {cycle} (thrashing)",
+                    self._budget_stop(processed),
+                )
+            if fault_sleep:
+                time.sleep(fault_sleep)
+            self._note_time(cycle)
+            prof.push(_TAG_PHASE.get(tag, "other"))
+            if tag == "token":
+                self._on_token(cycle, *payload)
+            elif tag == "dispatch":
+                self._on_dispatch(cycle, *payload)
+            elif tag == "sbaddr":
+                sb, inst_id, thread, wave, value = payload
+                sb.submit_address(inst_id, thread, wave, value, cycle)
+            elif tag == "sbdata":
+                sb, inst_id, thread, wave, value = payload
+                sb.submit_data(inst_id, thread, wave, value, cycle)
+            elif tag == "ifetch":
+                self._on_ifetch(cycle, *payload)
+            elif tag == "retire":
+                self._on_retire(cycle, *payload)
+            else:  # pragma: no cover - defensive
+                raise AssertionError(f"unknown event {tag}")
+            prof.pop()
+        return processed
+
+    def _install_profile_hooks(self, prof) -> None:
+        """Shadow the hot-path callees with profiled wrappers.
+
+        The shadows are *instance* attributes (and, for the matching
+        tables, per-table attributes), so with profiling off the
+        handlers run the original methods with no hook code at all --
+        the <2% overhead contract of :mod:`repro.obs.profile` holds by
+        construction.
+        """
+        deliver = self._deliver
+
+        def profiled_deliver(*args, **kwargs):
+            prof.push("deliver")
+            try:
+                deliver(*args, **kwargs)
+            finally:
+                prof.pop()
+
+        self._deliver = profiled_deliver
+
+        def profiled_evaluate(opcode, operands, immediate):
+            prof.push("execute")
+            try:
+                return evaluate(opcode, operands, immediate)
+            finally:
+                prof.pop()
+
+        self._evaluate = profiled_evaluate
+
+        for table in self.matching:
+            def profiled_insert(*args, _insert=table.insert, **kwargs):
+                prof.push("match")
+                try:
+                    return _insert(*args, **kwargs)
+                finally:
+                    prof.pop()
+
+            table.insert = profiled_insert
+
+    def _uninstall_profile_hooks(self) -> None:
+        self.__dict__.pop("_deliver", None)
+        self.__dict__.pop("_evaluate", None)
+        for table in self.matching:
+            table.__dict__.pop("insert", None)
 
     def failure_diagnostics(self) -> FailureDiagnostics:
         """A structured snapshot of buffered work, attached to every
@@ -351,8 +494,8 @@ class Engine:
 
         table = self.matching[pe]
         result = table.insert(
-            (thread, wave, inst_id), port, value, self._d_slot[inst_id],
-            self._d_arity[inst_id], cycle
+            (thread, wave, inst_id), port, value,
+            self._d_slot[inst_id], self._d_arity[inst_id], cycle
         )
         if not result.accepted:
             # Bank conflict: the sender retries next cycle.
@@ -493,7 +636,7 @@ class Engine:
         if opcode is Opcode.THREAD_HALT:
             return
 
-        value = evaluate(opcode, operands, inst.immediate)
+        value = self._evaluate(opcode, operands, inst.immediate)
 
         if opcode is Opcode.STEER:
             dests = inst.dests if steer_taken(operands) else inst.false_dests

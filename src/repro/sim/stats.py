@@ -24,6 +24,7 @@ class SimStats:
     cycles: int = 0
     dynamic_instructions: int = 0
     alpha_instructions: int = 0
+    events_processed: int = 0  # engine calendar events this run
 
     # Traffic: messages[kind][level] counts one entry per message.
     messages: dict[str, dict[str, int]] = field(
@@ -75,7 +76,20 @@ class SimStats:
     def record_message(
         self, kind: str, level: str, latency: int, hops: int = 0
     ) -> None:
-        self.messages[kind][level] += 1
+        # try/except keeps the well-formed path allocation- and
+        # branch-free; the KeyError rewrite only runs on caller bugs.
+        try:
+            self.messages[kind][level] += 1
+        except KeyError:
+            if kind not in self.messages:
+                raise ValueError(
+                    f"unknown message kind {kind!r}; expected one of "
+                    f"{KINDS}"
+                ) from None
+            raise ValueError(
+                f"unknown hierarchy level {level!r}; expected one of "
+                f"{LEVELS}"
+            ) from None
         self.message_latency_sum += latency
         self.message_count += 1
         self.message_hops_sum += hops

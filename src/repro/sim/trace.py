@@ -15,22 +15,41 @@ running; afterwards filter and render it::
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
-#: Event kinds emitted by the engine.
+#: Event kinds emitted by the engine, in pipeline order.  This tuple
+#: is the *registry*: every kind the engine emits must be here, and
+#: every kind here must be emitted by the engine --
+#: ``tests/sim/test_trace.py`` asserts the round trip in both
+#: directions, so the two can never silently drift apart again.
 KINDS = (
-    "input",      # token accepted into the matching table
-    "reject",     # bank-conflict retry
-    "match",      # row completed (instruction became ready)
-    "dispatch",   # instruction dispatched
-    "execute",    # result computed
-    "output",     # operand sent toward a consumer
-    "mem_req",    # request sent to a store buffer
-    "mem_done",   # memory operation completed
-    "overflow",   # matching-table miss (token deflected/evicted)
-    "ifetch",     # instruction-store miss fetch
+    "input",       # token accepted into the matching table
+    "reject",      # bank-conflict retry
+    "match",       # row completed (instruction became ready)
+    "dispatch",    # instruction dispatched
+    "execute",     # result computed
+    "output",      # operand sent toward a consumer
+    "fault_drop",  # fault injection swallowed a delivery
+    "mem_req",     # request sent to a store buffer
+    "mem_done",    # memory operation completed
+    "overflow",    # matching-table miss (token deflected/evicted)
+    "ifetch",      # instruction-store miss fetch
 )
+
+#: Complete, stable same-cycle ordering: pipeline position for every
+#: registered kind; unregistered kinds (user-synthesised events) sort
+#: after all registered ones, preserving emission order among
+#: themselves (sorts here are stable).
+_KIND_ORDER = {kind: index for index, kind in enumerate(KINDS)}
+_UNKNOWN_ORDER = len(KINDS)
+
+#: Trace capacity policies: ``drop_newest`` (default) keeps the first
+#: ``limit`` events -- the start of the run; ``drop_oldest`` is a ring
+#: buffer keeping the most recent ``limit`` events -- the end of the
+#: run.  Either way :attr:`Trace.dropped` counts the evictions.
+POLICIES = ("drop_newest", "drop_oldest")
 
 
 @dataclass(frozen=True, slots=True)
@@ -54,11 +73,34 @@ class TraceEvent:
 
 @dataclass
 class Trace:
-    """A bounded in-memory event trace."""
+    """A bounded in-memory event trace.
+
+    ``policy`` selects what happens when ``limit`` is reached:
+    ``"drop_newest"`` (default, the historical behaviour) stops
+    recording and keeps the first ``limit`` events; ``"drop_oldest"``
+    turns the trace into a ring buffer keeping the *last* ``limit``
+    events (useful when the interesting part is the end of the run,
+    e.g. the events leading into a deadlock).  Dropped events are
+    counted on :attr:`dropped` either way, and :meth:`render` (and
+    ``repro trace``) always reports them.
+    """
 
     limit: int = 100_000
-    events: list[TraceEvent] = field(default_factory=list)
+    events: list = field(default_factory=list)
     dropped: int = 0
+    policy: str = "drop_newest"
+
+    def __post_init__(self) -> None:
+        if self.policy not in POLICIES:
+            raise ValueError(
+                f"unknown trace policy {self.policy!r}; "
+                f"expected one of {POLICIES}"
+            )
+        if self.policy == "drop_oldest":
+            # deque(maxlen=...) evicts the oldest entry on append in
+            # O(1); it supports len/iteration/indexing, which is all
+            # the trace API needs.
+            self.events = deque(self.events, maxlen=self.limit)
 
     def emit(
         self,
@@ -72,7 +114,8 @@ class Trace:
     ) -> None:
         if len(self.events) >= self.limit:
             self.dropped += 1
-            return
+            if self.policy == "drop_newest":
+                return
         self.events.append(
             TraceEvent(cycle, kind, pe, inst, thread, wave, detail)
         )
@@ -103,8 +146,10 @@ class Trace:
             if until is not None and e.cycle > until:
                 continue
             out.append(e)
-        out.sort(key=lambda e: (e.cycle, KINDS.index(e.kind)
-                                if e.kind in KINDS else 99))
+        out.sort(
+            key=lambda e: (e.cycle,
+                           _KIND_ORDER.get(e.kind, _UNKNOWN_ORDER))
+        )
         return out
 
     def render(self, **criteria) -> str:
@@ -151,6 +196,20 @@ class Trace:
     def pods(self) -> set[int]:
         """Pods that dispatched at least once."""
         return {e.pe // 2 for e in self.filter(kind="dispatch")}
+
+    def kinds_seen(self) -> set[str]:
+        """Every event kind recorded in this trace."""
+        return {e.kind for e in self.events}
+
+    # ------------------------------------------------------------------
+    def to_chrome(self, path) -> int:
+        """Export as a Chrome trace-event JSON file (one track per
+        PE), loadable in Perfetto or ``chrome://tracing``.  Returns
+        the number of trace events written.  See
+        :mod:`repro.obs.chrome` for the format mapping."""
+        from ..obs.chrome import write_chrome_trace
+
+        return write_chrome_trace(self, path)
 
 
 def summarize(events: Iterable[TraceEvent]) -> dict[str, int]:

@@ -58,6 +58,100 @@ def test_trace(capsys):
     assert "showing 10 of" in out
 
 
+def test_trace_reports_dropped_events(capsys):
+    code, out = run_cli(
+        capsys, "trace", "-w", "gzip", "--scale", "tiny",
+        "--events", "5", "--limit", "40",
+    )
+    assert code == 0
+    assert "DROPPED" in out
+    assert "limit 40" in out
+    assert "policy drop_newest" in out
+    assert "only the first 40 were kept" in out
+
+
+def test_trace_drop_oldest_policy(capsys):
+    code, out = run_cli(
+        capsys, "trace", "-w", "gzip", "--scale", "tiny",
+        "--events", "5", "--limit", "40", "--policy", "drop-oldest",
+    )
+    assert code == 0
+    assert "policy drop_oldest" in out
+    assert "only the last 40 were kept" in out
+
+
+def test_run_trace_out_writes_chrome_trace(capsys, tmp_path):
+    import json
+
+    path = tmp_path / "trace.json"
+    code, out = run_cli(
+        capsys, "run", "-w", "mcf", "--scale", "tiny",
+        "--trace-out", str(path),
+    )
+    assert code == 0
+    assert "chrome trace:" in out
+    assert "perfetto" in out
+    document = json.loads(path.read_text())
+    assert document["traceEvents"]
+    assert document["metadata"]["events_dropped"] == 0
+
+
+def test_run_profile_renders_phase_table(capsys):
+    code, out = run_cli(
+        capsys, "run", "-w", "mcf", "--scale", "tiny", "--profile",
+    )
+    assert code == 0
+    assert "hot-loop phase profile:" in out
+    for phase in ("input", "match", "dispatch", "execute", "deliver"):
+        assert phase in out
+
+
+def test_stats_command(capsys, tmp_path):
+    ledger = tmp_path / "runs.jsonl"
+    code, _ = run_cli(
+        capsys, "sweep", "--suite", "spec", "--sample", "40",
+        "--scale", "tiny", "--ledger", str(ledger),
+    )
+    assert code == 0
+    code, out = run_cli(capsys, "stats", str(ledger))
+    assert code == 0
+    assert "sweep metrics:" in out
+    assert "cells_total" in out
+    assert "dispatches" in out
+    assert "cell_wall_s" in out
+
+
+def test_stats_json_mode(capsys, tmp_path):
+    import json
+
+    ledger = tmp_path / "runs.jsonl"
+    run_cli(
+        capsys, "sweep", "--suite", "spec", "--sample", "40",
+        "--scale", "tiny", "--ledger", str(ledger),
+    )
+    code, out = run_cli(capsys, "stats", str(ledger), "--json")
+    assert code == 0
+    document = json.loads(out)
+    assert document["counters"]["cells_total"] > 0
+    assert "ok" in document["statuses"]
+
+
+def test_stats_missing_ledger_fails(capsys, tmp_path):
+    code = main(["stats", str(tmp_path / "nope.jsonl")])
+    assert code == 2
+
+
+def test_sweep_progress_prints_throughput(capsys, tmp_path):
+    code, out = run_cli(
+        capsys, "sweep", "--suite", "spec", "--sample", "40",
+        "--scale", "tiny", "--progress",
+    )
+    assert code == 0
+    assert "cells/s" in out
+    assert "throughput:" in out
+    assert "scheduler:" in out
+
+
 def test_sweep_small_sample(capsys):
     code, out = run_cli(
         capsys, "sweep", "--suite", "spec", "--sample", "30",
@@ -114,3 +208,22 @@ def test_report_command(capsys, tmp_path):
     assert "Area model" in text
     assert "Pareto" in text
     assert "Traffic locality" in text
+    assert "Campaign observability" not in text  # no ledger given
+
+
+def test_report_with_ledger_section(capsys, tmp_path):
+    ledger = tmp_path / "runs.jsonl"
+    run_cli(
+        capsys, "sweep", "--suite", "spec", "--sample", "40",
+        "--scale", "tiny", "--ledger", str(ledger),
+    )
+    out_file = tmp_path / "report.md"
+    code, _ = run_cli(
+        capsys, "report", "--sample", "40", "-o", str(out_file),
+        "--ledger", str(ledger),
+    )
+    assert code == 0
+    text = out_file.read_text()
+    assert "Campaign observability" in text
+    assert "cells_total" in text
+    assert "cell_wall_s" in text

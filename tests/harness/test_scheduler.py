@@ -166,6 +166,50 @@ def test_duplicate_cells_deduplicated_across_lanes(tmp_path):
     assert len(Ledger(tmp_path / "runs.jsonl").load()) == 1
 
 
+def test_parallel_matches_serial_observability(tmp_path):
+    """The determinism contract extends to observability: aggregated
+    deterministic metric counts from a jobs=4 campaign are
+    bit-identical to jobs=1.  Wall-clock series (histograms) are
+    exempt by construction."""
+    from repro.obs.metrics import aggregate_records, deterministic_counters
+
+    _, serial_report = run_sweep(1, tmp_path / "serial.jsonl")
+    _, par_report = run_sweep(4, tmp_path / "par.jsonl")
+
+    serial_reg = aggregate_records(
+        Ledger(tmp_path / "serial.jsonl").load().values()
+    )
+    par_reg = aggregate_records(
+        Ledger(tmp_path / "par.jsonl").load().values()
+    )
+    serial_counts = deterministic_counters(serial_reg)
+    par_counts = deterministic_counters(par_reg)
+    assert par_counts == serial_counts
+    # The simulation counters actually accumulated something.
+    for key in ("events", "sim_cycles", "dispatches", "messages"):
+        assert serial_counts[key] > 0, key
+
+    # Every record carries a metrics block with the full cell series.
+    for record in Ledger(tmp_path / "par.jsonl").load().values():
+        metrics = record["metrics"]
+        for key in ("wall_s", "events", "events_per_s", "sim_cycles",
+                    "dispatches", "messages"):
+            assert key in metrics, key
+
+    # Scheduler/sweep observability blocks exist on both reports and
+    # describe their own execution mode.
+    assert serial_report.metrics["scheduler"]["mode"] == "serial"
+    assert par_report.metrics["scheduler"]["mode"] == "parallel"
+    assert par_report.metrics["scheduler"]["workers"] == 4
+    assert par_report.metrics["scheduler"]["dispatched"] == 9
+    assert 0.0 < par_report.metrics["scheduler"]["utilization"] <= 1.0
+    for report in (serial_report, par_report):
+        sweep_block = report.metrics["sweep"]
+        assert sweep_block["cells"] == 9
+        assert sweep_block["cells_per_s"] > 0
+        assert report.metrics_summary()  # renders non-empty
+
+
 # ----------------------------------------------------------------------
 # Failure semantics under concurrency
 # ----------------------------------------------------------------------

@@ -1,0 +1,113 @@
+"""Tests for the Chrome trace-event exporter."""
+
+import json
+
+from repro.core.config import BASELINE
+from repro.obs.chrome import MEMORY_TRACK, chrome_trace_events
+from repro.place.snake import place
+from repro.sim.engine import Engine
+from repro.sim.trace import Trace, TraceEvent
+
+from ..conftest import build_array_sum
+
+
+def traced_run():
+    graph, _ = build_array_sum([1, 2, 3], k=2)
+    engine = Engine(graph, BASELINE, place(graph, BASELINE))
+    engine.trace = Trace()
+    engine.run()
+    return engine.trace
+
+
+def test_dispatch_execute_pairs_become_slices():
+    events = [
+        TraceEvent(10, "dispatch", 2, 5, 0, 0, "ADD"),
+        TraceEvent(13, "execute", 2, 5, 0, 0),
+    ]
+    out = chrome_trace_events(events)
+    slices = [e for e in out if e["ph"] == "X"]
+    assert len(slices) == 1
+    assert slices[0]["ts"] == 10
+    assert slices[0]["dur"] == 3
+    assert slices[0]["name"] == "ADD"
+    assert slices[0]["tid"] == 2
+    # The paired execute is folded into the slice, not duplicated.
+    assert not any(
+        e.get("name") == "execute" for e in out if e["ph"] == "i"
+    )
+
+
+def test_zero_latency_slice_stays_visible():
+    events = [
+        TraceEvent(10, "dispatch", 0, 1, 0, 0, "ADD"),
+        TraceEvent(10, "execute", 0, 1, 0, 0),
+    ]
+    slices = [e for e in chrome_trace_events(events) if e["ph"] == "X"]
+    assert slices[0]["dur"] == 1
+
+
+def test_unpaired_execute_falls_back_to_instant():
+    events = [TraceEvent(10, "execute", 0, 1, 0, 0)]
+    out = chrome_trace_events(events)
+    instants = [e for e in out if e["ph"] == "i"]
+    assert len(instants) == 1
+    assert instants[0]["name"] == "execute"
+
+
+def test_memory_completions_get_their_own_track():
+    events = [TraceEvent(20, "mem_done", -1, 7, 0, 0, "= 3")]
+    out = chrome_trace_events(events)
+    instant = [e for e in out if e["ph"] == "i"][0]
+    assert instant["tid"] == MEMORY_TRACK
+    names = [
+        e["args"]["name"] for e in out
+        if e["ph"] == "M" and e["name"] == "thread_name"
+    ]
+    assert "store buffer" in names
+
+
+def test_track_metadata_covers_every_pe():
+    events = [
+        TraceEvent(1, "input", 0, 1, 0, 0),
+        TraceEvent(2, "input", 5, 2, 0, 0),
+    ]
+    out = chrome_trace_events(events)
+    names = {
+        e["args"]["name"] for e in out
+        if e["ph"] == "M" and e["name"] == "thread_name"
+    }
+    assert {"PE 0", "PE 5"} <= names
+    assert any(
+        e["name"] == "process_name" for e in out if e["ph"] == "M"
+    )
+
+
+def test_export_round_trips_through_json(tmp_path):
+    trace = traced_run()
+    path = tmp_path / "trace.json"
+    written = trace.to_chrome(path)
+    document = json.loads(path.read_text())  # schema-valid JSON
+    assert len(document["traceEvents"]) == written
+    assert document["metadata"]["events_captured"] == len(trace.events)
+    assert document["metadata"]["events_dropped"] == 0
+    # Every event carries the fields Perfetto requires for its phase.
+    for e in document["traceEvents"]:
+        assert e["ph"] in ("X", "i", "M")
+        assert "name" in e and "pid" in e
+        if e["ph"] == "X":
+            assert e["dur"] >= 1
+        if e["ph"] != "M":
+            assert e["ts"] >= 0
+
+
+def test_truncated_export_records_drop_count(tmp_path):
+    graph, _ = build_array_sum(list(range(20)), k=4)
+    engine = Engine(graph, BASELINE, place(graph, BASELINE))
+    engine.trace = Trace(limit=50)
+    engine.run()
+    path = tmp_path / "trace.json"
+    engine.trace.to_chrome(path)
+    metadata = json.loads(path.read_text())["metadata"]
+    assert metadata["events_dropped"] == engine.trace.dropped > 0
+    assert metadata["limit"] == 50
+    assert metadata["drop_policy"] == "drop_newest"

@@ -1,0 +1,136 @@
+"""Tests for the phase profiler."""
+
+import ast
+import inspect
+import textwrap
+
+import pytest
+
+from repro.core.config import BASELINE
+from repro.obs.profile import PHASES, PhaseProfile
+from repro.place.snake import place
+from repro.sim.engine import Engine
+
+from ..conftest import build_array_sum
+
+
+def test_nested_regions_attribute_self_time():
+    prof = PhaseProfile()
+    prof.push("input")
+    prof.push("match")
+    prof.pop()
+    prof.pop()
+    # Parent self-time excludes the child span: the two phases are
+    # disjoint, so their sum equals the outer wall time (within the
+    # accounting, exactly).
+    assert prof.ns["match"] > 0
+    assert prof.ns["input"] >= 0
+    assert prof.total_ns == prof.ns["input"] + prof.ns["match"]
+    assert prof.calls == {
+        **{phase: 0 for phase in PHASES}, "input": 1, "match": 1,
+    }
+
+
+def test_fractions_sum_to_one():
+    prof = PhaseProfile()
+    for phase in ("input", "dispatch", "execute"):
+        prof.push(phase)
+        prof.pop()
+    assert sum(prof.fractions().values()) == pytest.approx(1.0)
+
+
+def test_empty_profile_renders_and_serialises():
+    prof = PhaseProfile()
+    assert prof.total_ns == 0
+    assert all(v == 0.0 for v in prof.fractions().values())
+    assert prof.to_dict()["total_ns"] == 0
+    assert "phase" in prof.render()
+
+
+def test_engine_attributes_hot_loop_phases():
+    graph, _ = build_array_sum([1, 2, 3, 4], k=2)
+    engine = Engine(graph, BASELINE, place(graph, BASELINE))
+    engine.profile = PhaseProfile()
+    stats = engine.run()
+    prof = engine.profile
+    assert prof._stack == []  # every push was popped
+    assert prof.total_ns > 0
+    # The pipeline phases the workload must exercise all got time.
+    for phase in ("input", "match", "dispatch", "execute", "deliver",
+                  "memory"):
+        assert prof.calls[phase] > 0, phase
+        assert prof.ns[phase] > 0, phase
+    # ALU evaluations are a subset of dispatches (memory half-ops
+    # take the store-buffer path instead of evaluate()).
+    assert 0 < prof.calls["execute"] <= stats.dispatches
+    text = prof.render()
+    assert "dispatch" in text and "total" in text
+
+
+def test_loop_twins_stay_in_sync():
+    """_run_plain and _run_profiled are twins: stripping the
+    ``prof.*`` statements and the ``prof`` parameter from the profiled
+    loop must yield the plain loop exactly.  This is the same
+    no-silent-drift discipline as the KINDS round-trip test -- the
+    twins cannot diverge without failing here."""
+
+    class StripProf(ast.NodeTransformer):
+        def visit_Expr(self, node):
+            call = node.value
+            if (
+                isinstance(call, ast.Call)
+                and isinstance(call.func, ast.Attribute)
+                and isinstance(call.func.value, ast.Name)
+                and call.func.value.id == "prof"
+            ):
+                return None
+            return node
+
+    def loop_ast(method, strip=False):
+        source = textwrap.dedent(inspect.getsource(method))
+        fn = ast.parse(source).body[0]
+        if strip:
+            fn = StripProf().visit(fn)
+            fn.args.args = [a for a in fn.args.args if a.arg != "prof"]
+        fn.name = "loop"
+        # Docstrings are allowed to differ.
+        if isinstance(fn.body[0], ast.Expr) and \
+                isinstance(fn.body[0].value, ast.Constant):
+            fn.body.pop(0)
+        return ast.dump(fn)
+
+    assert loop_ast(Engine._run_plain) == \
+        loop_ast(Engine._run_profiled, strip=True)
+
+
+def test_disabled_profiling_leaves_no_shadows():
+    """With no profile attached, the hot path runs the original
+    methods: no instance-attribute wrappers exist on the engine or
+    its matching tables after a run."""
+    graph, _ = build_array_sum([1, 2, 3], k=2)
+    engine = Engine(graph, BASELINE, place(graph, BASELINE))
+    engine.run()
+    assert "_deliver" not in engine.__dict__
+    assert "_evaluate" not in engine.__dict__
+    assert all("insert" not in t.__dict__ for t in engine.matching)
+
+
+def test_profile_hooks_uninstalled_after_profiled_run():
+    graph, _ = build_array_sum([1, 2, 3], k=2)
+    engine = Engine(graph, BASELINE, place(graph, BASELINE))
+    engine.profile = PhaseProfile()
+    engine.run()
+    assert "_deliver" not in engine.__dict__
+    assert "_evaluate" not in engine.__dict__
+    assert all("insert" not in t.__dict__ for t in engine.matching)
+
+
+def test_profiling_does_not_change_results():
+    graph, _ = build_array_sum([1, 2, 3, 4], k=2)
+    plain = Engine(graph, BASELINE, place(graph, BASELINE)).run()
+    engine = Engine(graph, BASELINE, place(graph, BASELINE))
+    engine.profile = PhaseProfile()
+    profiled = engine.run()
+    assert profiled.cycles == plain.cycles
+    assert profiled.dispatches == plain.dispatches
+    assert profiled.output_values() == plain.output_values()

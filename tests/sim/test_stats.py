@@ -65,6 +65,54 @@ def test_output_values_flatten_in_order():
     assert stats.output_values() == [9, 1, 2]
 
 
+def test_record_message_unknown_kind_names_valid_values():
+    stats = SimStats()
+    with pytest.raises(ValueError) as excinfo:
+        stats.record_message("bogus", "pod", latency=1)
+    message = str(excinfo.value)
+    assert "bogus" in message
+    for kind in KINDS:
+        assert kind in message
+
+
+def test_record_message_unknown_level_names_valid_values():
+    stats = SimStats()
+    with pytest.raises(ValueError) as excinfo:
+        stats.record_message("operand", "bogus", latency=1)
+    message = str(excinfo.value)
+    assert "bogus" in message
+    for level in LEVELS:
+        assert level in message
+
+
+def test_record_message_error_leaves_counts_untouched():
+    stats = SimStats()
+    with pytest.raises(ValueError):
+        stats.record_message("bogus", "pod", latency=1)
+    assert stats.message_count == 0
+    assert stats.traffic_fractions() == {lv: 0.0 for lv in LEVELS}
+
+
+def test_fraction_edges_with_zero_messages():
+    stats = SimStats()
+    assert stats.traffic_fractions() == {lv: 0.0 for lv in LEVELS}
+    assert stats.kind_fractions() == {k: 0.0 for k in KINDS}
+    assert stats.within_cluster_fraction() == 0.0
+    assert stats.average_message_latency == 0.0
+    assert stats.average_message_hops == 0.0
+
+
+def test_summary_with_zero_cycles_does_not_divide_by_zero():
+    stats = SimStats()
+    text = stats.summary()
+    assert "AIPC=0.000" in text
+    assert "cycles=0" in text
+
+
+def test_events_processed_defaults_to_zero():
+    assert SimStats().events_processed == 0
+
+
 def test_summary_renders_key_numbers():
     stats = SimStats()
     stats.cycles = 10

@@ -1,10 +1,16 @@
 """Tests for the execution tracer."""
 
+import inspect
+import re
+
+import pytest
+
+import repro.sim.engine as engine_module
 from repro.core.config import BASELINE
 from repro.lang import GraphBuilder
 from repro.place.snake import place
 from repro.sim.engine import Engine
-from repro.sim.trace import Trace, TraceEvent, summarize
+from repro.sim.trace import KINDS, Trace, TraceEvent, summarize
 
 from ..conftest import build_array_sum
 
@@ -100,6 +106,93 @@ def test_instruction_timeline_ordered():
     timeline = trace.instruction_timeline(inst)
     cycles = [e.cycle for e in timeline]
     assert cycles == sorted(cycles)
+
+
+def emitted_kinds():
+    """Every kind literal the engine source passes to ``trace.emit``."""
+    source = inspect.getsource(engine_module)
+    return set(re.findall(r'trace\.emit\(\s*[^,]+,\s*"(\w+)"', source))
+
+
+def test_kinds_registry_round_trips_with_engine():
+    """The KINDS registry and the engine's emission sites can never
+    drift apart again: every emitted kind is registered, and every
+    registered kind has an emission site."""
+    emitted = emitted_kinds()
+    assert emitted, "source scan found no trace.emit sites"
+    assert emitted - set(KINDS) == set(), \
+        "engine emits kinds missing from the KINDS registry"
+    assert set(KINDS) - emitted == set(), \
+        "KINDS registers kinds the engine never emits"
+
+
+def test_fault_drop_events_are_traced():
+    """fault_drop is emitted under fault injection and is a registered
+    kind (it was missing from KINDS before the reconciliation)."""
+    from repro.harness.faults import FaultPlan
+
+    assert "fault_drop" in KINDS
+    graph = chain_graph(6)
+    engine = Engine(graph, BASELINE, place(graph, BASELINE))
+    engine.trace = Trace()
+    engine.faults = FaultPlan(drop_every_n=1)
+    try:
+        engine.run()
+    except Exception:  # swallowed deliveries usually deadlock the run
+        pass
+    assert len(engine.trace.filter(kind="fault_drop")) > 0
+
+
+def test_same_cycle_events_sort_in_pipeline_order():
+    """Regression for the incomplete sort map: fault_drop (and every
+    other registered kind) has a stable pipeline position, so
+    same-cycle events never shuffle by emission order."""
+    trace = Trace()
+    # Emitted deliberately out of pipeline order, all on cycle 7.
+    trace.emit(7, "fault_drop", 0, 1, 0, 0)
+    trace.emit(7, "output", 0, 2, 0, 0)
+    trace.emit(7, "mem_done", -1, 3, 0, 0)
+    trace.emit(7, "dispatch", 0, 4, 0, 0)
+    assert [e.kind for e in trace.filter()] == [
+        "dispatch", "output", "fault_drop", "mem_done",
+    ]
+
+
+def test_unknown_kinds_sort_after_registered_ones():
+    trace = Trace()
+    trace.emit(3, "custom_probe", 0, 1, 0, 0)
+    trace.emit(3, "output", 0, 2, 0, 0)
+    kinds = [e.kind for e in trace.filter()]
+    assert kinds == ["output", "custom_probe"]
+
+
+def test_drop_oldest_keeps_the_end_of_the_run():
+    trace = Trace(limit=3, policy="drop_oldest")
+    for cycle in range(10):
+        trace.emit(cycle, "input", 0, cycle, 0, 0)
+    assert [e.cycle for e in trace.events] == [7, 8, 9]
+    assert trace.dropped == 7
+    assert "dropped" in trace.render()
+
+
+def test_drop_newest_keeps_the_start_of_the_run():
+    trace = Trace(limit=3, policy="drop_newest")
+    for cycle in range(10):
+        trace.emit(cycle, "input", 0, cycle, 0, 0)
+    assert [e.cycle for e in trace.events] == [0, 1, 2]
+    assert trace.dropped == 7
+
+
+def test_unknown_policy_rejected():
+    with pytest.raises(ValueError, match="drop_newest"):
+        Trace(policy="keep_everything")
+
+
+def test_kinds_seen_reports_recorded_kinds():
+    trace, _ = run_traced(chain_graph())
+    seen = trace.kinds_seen()
+    assert {"input", "dispatch", "execute"} <= seen
+    assert seen <= set(KINDS)
 
 
 def test_tracing_does_not_change_timing():
