@@ -72,6 +72,7 @@ class WaveScalarProcessor:
         sanitizer=None,
         trace=None,
         profile=None,
+        compiled=None,
     ) -> SimulationResult:
         """Execute ``graph`` and return the full result bundle.
 
@@ -87,7 +88,10 @@ class WaveScalarProcessor:
         a :class:`~repro.sim.trace.Trace` recording pipeline events
         (export with ``trace.to_chrome(path)``); ``profile`` attaches
         a :class:`~repro.obs.PhaseProfile` attributing hot-loop time
-        to pipeline phases.
+        to pipeline phases; ``compiled`` passes the graph's pre-built
+        :class:`~repro.sim.compile.CompiledGraph` decode straight to
+        the engine (it must belong to ``graph``, so it cannot be
+        combined with ``k`` rebinding, which derives a new graph).
         """
         if k is not None:
             graph = set_k_bound(graph, k)
@@ -95,7 +99,7 @@ class WaveScalarProcessor:
             placement = self.place(graph)
         engine = Engine(
             graph, self.config, placement, max_cycles=self.max_cycles,
-            max_events=self.max_events,
+            max_events=self.max_events, compiled=compiled,
         )
         if faults is not None:
             engine.faults = faults
@@ -156,6 +160,46 @@ class WaveScalarProcessor:
             if got != expected:
                 raise AssertionError(
                     f"{workload.name}: simulator output {got!r} != "
+                    f"reference {expected!r}"
+                )
+        return result
+
+    def run_compiled(
+        self,
+        compiled,
+        check: bool = True,
+        faults=None,
+        sanitizer=None,
+        strict: bool = True,
+        trace=None,
+        profile=None,
+    ) -> SimulationResult:
+        """Execute a pre-built :class:`~repro.sim.compile
+        .CompiledWorkload` (typically served by
+        :func:`~repro.sim.compile.get_compiled`).
+
+        The graph and its flat decode come straight from ``compiled``,
+        so repeat runs of the same cell -- budget-escalation retries,
+        sweep repetitions, forked attempt subprocesses -- skip the
+        instantiate/decode work entirely.  The thread count and k
+        bound are part of the compile key, already baked into the
+        graph.  Output checking compares against the workload's
+        memoised reference outputs, exactly as :meth:`run_workload`
+        does (and is likewise skipped under an active fault plan).
+        """
+        result = self.run(
+            compiled.graph, threads=compiled.threads, faults=faults,
+            sanitizer=sanitizer, strict=strict, trace=trace,
+            profile=profile, compiled=compiled.decoded,
+        )
+        if faults is not None:
+            check = False
+        if check:
+            expected = compiled.expected_outputs()
+            got = result.outputs()
+            if got != expected:
+                raise AssertionError(
+                    f"{compiled.name}: simulator output {got!r} != "
                     f"reference {expected!r}"
                 )
         return result

@@ -47,7 +47,7 @@ def execute_cell(spec: CellSpec) -> dict:
     """
     from ..core.processor import WaveScalarProcessor
     from ..obs.metrics import cell_metrics
-    from ..workloads.base import Scale
+    from ..sim.compile import get_compiled
     from ..workloads.registry import get
 
     workload = get(spec.workload)
@@ -57,10 +57,11 @@ def execute_cell(spec: CellSpec) -> dict:
         max_events=spec.max_events,
     )
     started = time.perf_counter()
-    result = proc.run_workload(
-        workload, scale=Scale(spec.scale), threads=threads, k=spec.k,
-        seed=spec.seed, faults=spec.faults,
+    compiled = get_compiled(
+        spec.workload, scale=spec.scale, threads=threads, k=spec.k,
+        seed=spec.seed,
     )
+    result = proc.run_compiled(compiled, faults=spec.faults)
     wall_s = time.perf_counter() - started
     return {
         "status": "ok",
@@ -195,6 +196,8 @@ class RunSupervisor:
         """One cell through the full policy: attempt, classify, and
         retry transient budget failures with escalated budgets."""
         started = time.monotonic()
+        if self.isolation == "process" and self.mp_context == "fork":
+            self._warm_compile(spec)
         attempts = 0
         while True:
             attempts += 1
@@ -223,6 +226,29 @@ class RunSupervisor:
             )
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _warm_compile(spec: CellSpec) -> None:
+        """Pre-build the cell's compiled workload in *this* process so
+        that forked attempt subprocesses inherit the warm cache through
+        copy-on-write memory -- budget-escalation retries of the same
+        cell then never rebuild the program.  Escalation only changes
+        budgets, never the compile key, so one warm covers every
+        attempt.  Build failures are swallowed here: the attempt itself
+        will hit the same error and classify it properly.
+        """
+        try:
+            from ..sim.compile import get_compiled
+            from ..workloads.registry import get
+
+            workload = get(spec.workload)
+            threads = spec.threads if workload.multithreaded else None
+            get_compiled(
+                spec.workload, scale=spec.scale, threads=threads,
+                k=spec.k, seed=spec.seed,
+            )
+        except Exception:  # noqa: BLE001 - deferred to the attempt
+            pass
+
     def _attempt(self, spec: CellSpec) -> dict:
         if self.isolation == "inline":
             return self._attempt_inline(spec)

@@ -35,6 +35,22 @@ def _track(pe: int) -> object:
     return MEMORY_TRACK if pe < 0 else pe
 
 
+def _kind_name(kind) -> str:
+    """Trace kinds are strings; an event carrying a raw integer
+    calendar tag (:mod:`repro.sim.events`) is mapped to its
+    human-readable name defensively, so such a trace still renders
+    with ``token``/``dispatch``/... labels rather than bare numbers.
+    The import stays lazy (and guarded) to keep this module loadable
+    without the simulator package."""
+    if isinstance(kind, int):
+        try:
+            from ..sim.events import tag_name
+        except ImportError:
+            return f"tag{kind}"
+        return tag_name(kind)
+    return kind
+
+
 def chrome_trace_events(events: Iterable) -> list[dict]:
     """The ``traceEvents`` list for an iterable of trace events."""
     out: list[dict] = []
@@ -43,10 +59,11 @@ def chrome_trace_events(events: Iterable) -> list[dict]:
     pending: dict[tuple, list[dict]] = {}
     for e in events:
         tracks.add(_track(e.pe))
+        kind = _kind_name(e.kind)
         args = {"inst": e.inst, "thread": e.thread, "wave": e.wave}
         if e.detail:
             args["detail"] = e.detail
-        if e.kind == "dispatch":
+        if kind == "dispatch":
             slice_event = {
                 "name": e.detail or "dispatch",
                 "cat": "pipeline",
@@ -61,7 +78,7 @@ def chrome_trace_events(events: Iterable) -> list[dict]:
             key = (e.pe, e.inst, e.thread, e.wave)
             pending.setdefault(key, []).append(slice_event)
             continue
-        if e.kind == "execute":
+        if kind == "execute":
             key = (e.pe, e.inst, e.thread, e.wave)
             open_slices = pending.get(key)
             if open_slices:
@@ -77,7 +94,7 @@ def chrome_trace_events(events: Iterable) -> list[dict]:
             # An execute with no open dispatch (truncated trace):
             # fall through to an instant event.
         out.append({
-            "name": e.kind,
+            "name": kind,
             "cat": "pipeline",
             "ph": "i",
             "s": "t",  # thread-scoped instant

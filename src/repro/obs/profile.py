@@ -45,6 +45,20 @@ PHASES = (
 )
 
 
+def phase_of_tag(tag: int) -> str:
+    """The pipeline phase charged for one integer calendar tag.
+
+    The engine's calendar carries the integer tags of
+    :mod:`repro.sim.events`; this is the human-facing mapping back to
+    a :data:`PHASES` name (unknown tags land in ``"other"``, so
+    reporting code never raises on a foreign tag).  Imported lazily so
+    this module stays loadable without the simulator package.
+    """
+    from ..sim.events import tag_phase
+
+    return tag_phase(tag)
+
+
 class PhaseProfile:
     """Self-time attribution over the engine's pipeline phases."""
 

@@ -1,4 +1,21 @@
-"""The cycle-level simulation engine.
+"""Frozen pre-overhaul reference engine (regression oracle).
+
+This is a verbatim snapshot of the engine as it stood before the
+hot-path overhaul (compiled workloads, integer-tag dispatch,
+matching-table fast paths).  It exists for exactly two consumers:
+
+* ``tests/sim/test_golden_stats.py`` asserts the production engine's
+  ``SimStats``/AIPC are bit-identical to this reference across the
+  full workload suite (the determinism guarantee of the overhaul);
+* ``benchmarks/test_simulator_performance.py`` measures the
+  events-per-second speedup of the production engine against it.
+
+Do not optimise or "fix" this module; it shares the unchanged
+memory/network/store-buffer models with the production engine and
+must keep producing the historical results.  The original docstring
+follows.
+
+The cycle-level simulation engine.
 
 Executes a :class:`~repro.isa.DataflowGraph` on a configured WaveScalar
 processor: PEs with banked matching tables and instruction stores,
@@ -13,26 +30,6 @@ idle tiles of a 512-PE configuration cost nothing.  All latencies and
 bandwidths come from :class:`~repro.core.config.WaveScalarConfig`
 (paper Table 1).
 
-Hot-path engineering (the golden-stats suite proves every item below
-changes no simulated result):
-
-* Calendar entries carry the integer tags of :mod:`repro.sim.events`
-  and dispatch through ``self._handlers``, a bound-method table built
-  once in ``__init__`` -- one tuple index instead of a string-compare
-  chain per event.
-* Per-instruction decode comes from a :class:`~repro.sim.compile
-  .CompiledGraph` (flat tuples indexed by ``inst_id``), built on
-  demand or passed in pre-built so sweeps pay for decoding once per
-  workload instead of once per run.
-* Same-cycle token fan-outs post as one ``EV_TOKEN_BATCH`` calendar
-  entry; the loop unpacks them token by token, charging the event
-  budget per token, so heap traffic shrinks but ``events_processed``,
-  budget-raise points, and failure diagnostics stay bit-identical.
-* The calendar is bucketed by cycle (dozens of events share a cycle
-  in a busy run), so ordering costs two dict/list operations per
-  event plus one heap operation per *cycle*, not two heap operations
-  per event.
-
 Architectural results (OUTPUT values, final memory) are bit-identical
 to the reference interpreter; the integration suite asserts this for
 every workload.
@@ -40,49 +37,42 @@ every workload.
 
 from __future__ import annotations
 
+import heapq
 import time
-from heapq import heappop, heappush
 from typing import Optional
 
-from ..core.config import WaveScalarConfig
-from ..isa.graph import DataflowGraph
-from ..isa.semantics import evaluate, steer_taken
-from ..isa.token import Value
-from ..place.placement import Placement
-from .compile import (
-    CompiledGraph,
-    K_ALU,
-    K_HALT,
-    K_MEMORY,
-    K_OUTPUT,
-    K_STEER,
-    K_STORE,
-    K_WAVE_ADVANCE,
-    compile_graph,
-)
-from .events import (
-    EV_DISPATCH,
-    EV_IFETCH,
-    EV_RETIRE,
-    EV_SBADDR,
-    EV_SBDATA,
-    EV_TOKEN,
-    EV_TOKEN_BATCH,
-)
-from .events import TAG_PHASES as _TAG_PHASE
-from .failures import (
+from ...core.config import WaveScalarConfig
+from ...isa.graph import DataflowGraph
+from ...isa.opcodes import Opcode
+from ...isa.semantics import evaluate, steer_taken
+from ...isa.token import Value
+from ...place.placement import Placement
+from ..failures import (
     CycleBudgetExhausted,
     EventBudgetExhausted,
     FailureDiagnostics,
     SimulationDeadlock,
     TrueDeadlock,
 )
-from .memory.hierarchy import MemoryHierarchy
-from .network.topology import BandwidthLedger, Interconnect
-from .pe.istore import InstructionStore
-from .pe.matching import MatchingTable
-from .stats import SimStats
-from .storebuffer.storebuffer import MemOp, StoreBuffer
+from ..memory.hierarchy import MemoryHierarchy
+from ..network.topology import BandwidthLedger, Interconnect
+from .istore import InstructionStore
+from .matching import MatchingTable
+from ..stats import SimStats
+from ..storebuffer.storebuffer import MemOp, StoreBuffer
+
+#: Event-calendar tag -> profile phase (repro.obs.profile.PHASES).
+#: The finer stages (match, execute, deliver) are attributed by inner
+#: hooks inside the handlers; stack-based self-time accounting in
+#: PhaseProfile keeps the phases disjoint.
+_TAG_PHASE = {
+    "token": "input",
+    "dispatch": "dispatch",
+    "sbaddr": "memory",
+    "sbdata": "memory",
+    "ifetch": "other",
+    "retire": "other",
+}
 
 __all__ = [
     "Engine",
@@ -110,7 +100,6 @@ class Engine:
         max_cycles: int = 20_000_000,
         warm_caches: bool = True,
         max_events: int = 200_000_000,
-        compiled: Optional[CompiledGraph] = None,
     ) -> None:
         """``warm_caches`` pre-loads the program's initial data image
         into the L2 (when one exists), modelling the steady state the
@@ -122,28 +111,19 @@ class Engine:
         *wall* time -- thrashing configurations generate many retry
         events per simulated cycle, so a cycle budget alone can take
         minutes to trip.  Exceeding either raises
-        :class:`SimulationDeadlock`.
-
-        ``compiled`` is the graph's pre-built flat decode (see
-        :mod:`repro.sim.compile`); when omitted the engine compiles the
-        graph itself.  A supplied decode must belong to ``graph``."""
-        if compiled is None:
-            compiled = compile_graph(graph)
-        elif compiled.graph is not graph:
-            raise ValueError("compiled decode belongs to a different graph")
+        :class:`SimulationDeadlock`."""
         self.graph = graph
         self.config = config
         self.placement = placement
         self.max_cycles = max_cycles
         self.max_events = max_events
-        self.decoded = compiled
         self.stats = SimStats()
         self.network = Interconnect(config, self.stats)
         self.memory = MemoryHierarchy(
             config, self.network, self.stats, graph.initial_memory
         )
         if warm_caches and self.memory.l2 is not None:
-            from .memory.hierarchy import SHARED
+            from ..memory.hierarchy import SHARED
 
             for word in graph.initial_memory:
                 self.memory.l2.insert(self.memory.line_of(word), SHARED)
@@ -180,57 +160,22 @@ class Engine:
         self._fpu = [BandwidthLedger(1) for _ in range(n_domains)]
 
         # Decoded-instruction arrays: the per-firing hot path reads
-        # these flat tuples instead of chasing Instruction/Opcode
+        # these flat lists instead of chasing Instruction/Opcode
         # attribute chains (the hardware analogue is the decoded
-        # instruction store).  All but the placement-dependent slot
-        # column come straight from the (shareable) CompiledGraph.
-        self._d_arity = compiled.arity
-        self._d_opcode = compiled.opcode
-        self._d_kind = compiled.kind
-        self._d_latency = compiled.latency
-        self._d_fpu = compiled.uses_fpu
-        self._d_alpha = compiled.alpha_equivalent
-        self._d_is_store = compiled.is_store
-        self._d_dests = compiled.dests
-        self._d_false_dests = compiled.false_dests
-        self._d_imm = compiled.immediate
-        self._d_row = compiled.rows
-        slot_of = placement.slot_of
+        # instruction store).
+        self._d_arity = [inst.arity for inst in graph.instructions]
+        self._d_opcode = [inst.opcode for inst in graph.instructions]
         self._d_slot = [
-            slot_of.get(inst.inst_id, 0) for inst in graph.instructions
+            placement.slot_of.get(inst.inst_id, 0)
+            for inst in graph.instructions
+        ]
+        self._d_is_store = [
+            inst.opcode is Opcode.STORE for inst in graph.instructions
         ]
 
-        # Config scalars the per-token path reads, hoisted out of the
-        # config object once.
-        self._match_delay = config.match_to_dispatch_delay
-        self._spec_fire = config.speculative_fire
-        self._overflow_penalty = config.overflow_penalty
-        self._istore_penalty = config.istore_miss_penalty
-        self._pes_per_domain = config.pes_per_domain
-        self._pes_per_cluster = config.pes_per_cluster
-        self._cluster_latency = config.cluster_latency
-        self._domain_latency = config.domain_latency
-        self._pe_of = placement.pe_of
-
-        # Event calendar: a bucket per cycle (list of (tag, payload)
-        # in post order, using the integer tags of repro.sim.events)
-        # plus a min-heap of cycles that have a bucket.  Handlers only
-        # ever post at or after the cycle being processed, so draining
-        # the earliest bucket in insertion order replays exactly the
-        # (cycle, seq) order of a flat event heap -- at two dict/list
-        # ops per event instead of two O(log n) heap ops.  The loop
-        # dispatches through this bound-method table (EV_TOKEN_BATCH
-        # is unpacked inline).
-        self._handlers = (
-            self._on_token,
-            self._on_dispatch,
-            self._on_sbaddr,
-            self._on_sbdata,
-            self._on_ifetch,
-            self._on_retire,
-        )
-        self._buckets: dict[int, list] = {}
-        self._cycle_heap: list = []
+        # Event calendar: (cycle, seq, handler_tag, payload).
+        self._events: list = []
+        self._seq = 0
         self._horizon = 0  # latest activity time seen
 
         # k-loop bounding state.
@@ -274,62 +219,9 @@ class Engine:
     # ==================================================================
     # Event plumbing
     # ==================================================================
-    def _post(self, cycle: int, tag: int, payload) -> None:
-        bucket = self._buckets.get(cycle)
-        if bucket is None:
-            self._buckets[cycle] = [(tag, payload)]
-            heappush(self._cycle_heap, cycle)
-        else:
-            bucket.append((tag, payload))
-
-    def _post_tokens(self, cycle: int, payloads: list) -> None:
-        """Post a run of same-arrival token payloads as one calendar
-        entry.  The payloads were produced back-to-back by one
-        handler, so their sequence numbers would have been consecutive
-        anyway: no other event can order between them, and batching
-        them is invisible to the simulation."""
-        if len(payloads) == 1:
-            entry = (EV_TOKEN, payloads[0])
-        else:
-            entry = (EV_TOKEN_BATCH, tuple(payloads))
-        bucket = self._buckets.get(cycle)
-        if bucket is None:
-            self._buckets[cycle] = [entry]
-            heappush(self._cycle_heap, cycle)
-        else:
-            bucket.append(entry)
-
-    def _requeue_bucket(self, cycle: int, bucket: list, index: int,
-                        batch_index: int) -> None:
-        """Return a bucket's unprocessed tail to the calendar on a
-        budget-raise path, so failure diagnostics count exactly the
-        tokens an unbatched flat-heap engine would still have had
-        queued.
-
-        ``bucket[index]`` is the entry in flight, which the flat-heap
-        engine had already popped: it is dropped -- except that if it
-        is a token batch, only its token ``batch_index`` was consumed
-        and the batch tail goes back.  Later entries of the same cycle
-        (``bucket[index + 1:]``) were never reached and are restored
-        ahead of anything a handler posted at this cycle meanwhile
-        (which would have carried higher sequence numbers).
-        """
-        pending = []
-        tag, payload = bucket[index]
-        if tag == EV_TOKEN_BATCH:
-            rest = payload[batch_index + 1:]
-            if len(rest) == 1:
-                pending.append((EV_TOKEN, rest[0]))
-            elif rest:
-                pending.append((EV_TOKEN_BATCH, rest))
-        pending.extend(bucket[index + 1:])
-        if pending:
-            prior = self._buckets.get(cycle)
-            if prior is None:
-                self._buckets[cycle] = pending
-                heappush(self._cycle_heap, cycle)
-            else:
-                prior[0:0] = pending
+    def _post(self, cycle: int, tag: str, payload: tuple) -> None:
+        self._seq += 1
+        heapq.heappush(self._events, (cycle, self._seq, tag, payload))
 
     def _note_time(self, cycle: int) -> None:
         if cycle > self._horizon:
@@ -352,22 +244,22 @@ class Engine:
         for token in self.graph.entry_tokens:
             pe = self.placement.pe_of[token.inst]
             self._post(
-                0, EV_TOKEN,
+                0, "token",
                 (pe, token.thread, token.wave, token.inst, token.port,
                  token.value, False),
             )
         if self.sanitizer is not None:
             self.sanitizer.note_entry(len(self.graph.entry_tokens))
-        buckets = self._buckets
+        events = self._events
         max_events = self.max_events
         prof = self._prof = self.profile
         if prof is None:
-            processed = self._run_plain(buckets, max_events, fault_sleep)
+            processed = self._run_plain(events, max_events, fault_sleep)
         else:
             self._install_profile_hooks(prof)
             try:
                 processed = self._run_profiled(
-                    buckets, max_events, fault_sleep, prof
+                    events, max_events, fault_sleep, prof
                 )
             finally:
                 self._uninstall_profile_hooks()
@@ -387,7 +279,7 @@ class Engine:
         self.stats.events_processed = processed
         return self.failure_diagnostics()
 
-    def _run_plain(self, buckets, max_events: int,
+    def _run_plain(self, events, max_events: int,
                    fault_sleep: float) -> int:
         """The hot loop with zero instrumentation code.
 
@@ -395,133 +287,86 @@ class Engine:
         two must stay semantically identical --
         ``tests/obs/test_profile.py`` asserts their ASTs match once
         the profiling statements are stripped.
-
-        Drains one cycle bucket at a time in insertion (= posting)
-        order, dispatching through the bound-method table by integer
-        tag; ``EV_TOKEN_BATCH`` entries unpack inline with the event
-        budget charged per token, exactly as if each token were its
-        own calendar entry.  Same-cycle events posted by a handler
-        land in a fresh bucket for this cycle and drain on the next
-        outer iteration -- after the current bucket, which is the
-        sequence order a flat heap would have given them.
         """
         max_cycles = self.max_cycles
-        handlers = self._handlers
-        cycle_heap = self._cycle_heap
-        heap_pop = heappop
-        token_batch = EV_TOKEN_BATCH
         processed = 0
-        while cycle_heap:
-            cycle = heap_pop(cycle_heap)
-            bucket = buckets.pop(cycle)
+        while events:
+            cycle, _, tag, payload = heapq.heappop(events)
             if cycle > max_cycles:
-                self._requeue_bucket(cycle, bucket, 0, 0)
                 raise CycleBudgetExhausted(
                     f"{self.graph.name}: exceeded {max_cycles} cycles",
                     self._budget_stop(processed),
                 )
-            index = 0
-            for tag, payload in bucket:
-                if tag != token_batch:
-                    processed += 1
-                    if processed > max_events:
-                        self._requeue_bucket(cycle, bucket, index, 0)
-                        raise EventBudgetExhausted(
-                            f"{self.graph.name}: exceeded {max_events} "
-                            f"events at cycle {cycle} (thrashing)",
-                            self._budget_stop(processed),
-                        )
-                    if fault_sleep:
-                        time.sleep(fault_sleep)
-                    if cycle > self._horizon:
-                        self._horizon = cycle
-                    handlers[tag](cycle, payload)
-                else:
-                    on_token = handlers[0]
-                    batch_index = 0
-                    for item in payload:
-                        processed += 1
-                        if processed > max_events:
-                            self._requeue_bucket(
-                                cycle, bucket, index, batch_index
-                            )
-                            raise EventBudgetExhausted(
-                                f"{self.graph.name}: exceeded "
-                                f"{max_events} events at cycle {cycle} "
-                                "(thrashing)",
-                                self._budget_stop(processed),
-                            )
-                        if fault_sleep:
-                            time.sleep(fault_sleep)
-                        if cycle > self._horizon:
-                            self._horizon = cycle
-                        on_token(cycle, item)
-                        batch_index += 1
-                index += 1
+            processed += 1
+            if processed > max_events:
+                raise EventBudgetExhausted(
+                    f"{self.graph.name}: exceeded {max_events} events at "
+                    f"cycle {cycle} (thrashing)",
+                    self._budget_stop(processed),
+                )
+            if fault_sleep:
+                time.sleep(fault_sleep)
+            self._note_time(cycle)
+            if tag == "token":
+                self._on_token(cycle, *payload)
+            elif tag == "dispatch":
+                self._on_dispatch(cycle, *payload)
+            elif tag == "sbaddr":
+                sb, inst_id, thread, wave, value = payload
+                sb.submit_address(inst_id, thread, wave, value, cycle)
+            elif tag == "sbdata":
+                sb, inst_id, thread, wave, value = payload
+                sb.submit_data(inst_id, thread, wave, value, cycle)
+            elif tag == "ifetch":
+                self._on_ifetch(cycle, *payload)
+            elif tag == "retire":
+                self._on_retire(cycle, *payload)
+            else:  # pragma: no cover - defensive
+                raise AssertionError(f"unknown event {tag}")
         return processed
 
-    def _run_profiled(self, buckets, max_events: int, fault_sleep: float,
+    def _run_profiled(self, events, max_events: int, fault_sleep: float,
                       prof) -> int:
         """:meth:`_run_plain` with per-event phase attribution (the
         finer match/execute/deliver spans come from the wrappers that
         :meth:`_install_profile_hooks` shadowed in)."""
         max_cycles = self.max_cycles
-        handlers = self._handlers
-        cycle_heap = self._cycle_heap
-        heap_pop = heappop
-        token_batch = EV_TOKEN_BATCH
         processed = 0
-        while cycle_heap:
-            cycle = heap_pop(cycle_heap)
-            bucket = buckets.pop(cycle)
+        while events:
+            cycle, _, tag, payload = heapq.heappop(events)
             if cycle > max_cycles:
-                self._requeue_bucket(cycle, bucket, 0, 0)
                 raise CycleBudgetExhausted(
                     f"{self.graph.name}: exceeded {max_cycles} cycles",
                     self._budget_stop(processed),
                 )
-            index = 0
-            for tag, payload in bucket:
-                if tag != token_batch:
-                    processed += 1
-                    if processed > max_events:
-                        self._requeue_bucket(cycle, bucket, index, 0)
-                        raise EventBudgetExhausted(
-                            f"{self.graph.name}: exceeded {max_events} "
-                            f"events at cycle {cycle} (thrashing)",
-                            self._budget_stop(processed),
-                        )
-                    if fault_sleep:
-                        time.sleep(fault_sleep)
-                    if cycle > self._horizon:
-                        self._horizon = cycle
-                    prof.push(_TAG_PHASE[tag])
-                    handlers[tag](cycle, payload)
-                    prof.pop()
-                else:
-                    on_token = handlers[0]
-                    batch_index = 0
-                    for item in payload:
-                        processed += 1
-                        if processed > max_events:
-                            self._requeue_bucket(
-                                cycle, bucket, index, batch_index
-                            )
-                            raise EventBudgetExhausted(
-                                f"{self.graph.name}: exceeded "
-                                f"{max_events} events at cycle {cycle} "
-                                "(thrashing)",
-                                self._budget_stop(processed),
-                            )
-                        if fault_sleep:
-                            time.sleep(fault_sleep)
-                        if cycle > self._horizon:
-                            self._horizon = cycle
-                        prof.push(_TAG_PHASE[tag])
-                        on_token(cycle, item)
-                        prof.pop()
-                        batch_index += 1
-                index += 1
+            processed += 1
+            if processed > max_events:
+                raise EventBudgetExhausted(
+                    f"{self.graph.name}: exceeded {max_events} events at "
+                    f"cycle {cycle} (thrashing)",
+                    self._budget_stop(processed),
+                )
+            if fault_sleep:
+                time.sleep(fault_sleep)
+            self._note_time(cycle)
+            prof.push(_TAG_PHASE.get(tag, "other"))
+            if tag == "token":
+                self._on_token(cycle, *payload)
+            elif tag == "dispatch":
+                self._on_dispatch(cycle, *payload)
+            elif tag == "sbaddr":
+                sb, inst_id, thread, wave, value = payload
+                sb.submit_address(inst_id, thread, wave, value, cycle)
+            elif tag == "sbdata":
+                sb, inst_id, thread, wave, value = payload
+                sb.submit_data(inst_id, thread, wave, value, cycle)
+            elif tag == "ifetch":
+                self._on_ifetch(cycle, *payload)
+            elif tag == "retire":
+                self._on_retire(cycle, *payload)
+            else:  # pragma: no cover - defensive
+                raise AssertionError(f"unknown event {tag}")
+            prof.pop()
         return processed
 
     def _install_profile_hooks(self, prof) -> None:
@@ -577,25 +422,16 @@ class Engine:
         )
         ifetch_queued = sum(len(q) for q in self._ifetch.values())
         kbound = sum(len(s) for s in self._kbound_stalls.values())
-        # Count *tokens*, not calendar entries: a batch entry stands
-        # for one event per carried token.
-        events_pending = 0
-        for bucket in self._buckets.values():
-            for tag, payload in bucket:
-                if tag == EV_TOKEN_BATCH:
-                    events_pending += len(payload)
-                else:
-                    events_pending += 1
         return FailureDiagnostics(
             cycles=self._horizon,
             events_processed=self._events_processed,
-            events_pending=events_pending,
+            events_pending=len(self._events),
             tokens_in_flight=matching_rows + ifetch_queued,
             queue_depths={
                 "matching_rows": matching_rows,
                 "ifetch_queued": ifetch_queued,
                 "kbound_stalls": kbound,
-                "event_calendar": events_pending,
+                "event_calendar": len(self._events),
             },
             max_cycles=self.max_cycles,
             max_events=self.max_events,
@@ -631,147 +467,153 @@ class Engine:
     # ==================================================================
     # Token arrival (INPUT + MATCH stages)
     # ==================================================================
-    def _on_token(self, cycle: int, payload: tuple) -> None:
-        pe, thread, wave, inst_id, port, value, local = payload
-        stats = self.stats
-        trace = self.trace
+    def _on_token(
+        self,
+        cycle: int,
+        pe: int,
+        thread: int,
+        wave: int,
+        inst_id: int,
+        port: int,
+        value: Value,
+        local: bool,
+    ) -> None:
         # Instruction-store residency check (re-binding on demand).
         istore = self.istores[pe]
         if istore.over_subscribed:
             if not istore.hit(inst_id):
                 key = (pe, inst_id)
                 queue = self._ifetch.get(key)
+                payload = (pe, thread, wave, inst_id, port, value, local)
                 if queue is None:
                     # Start the fetch; tokens park until it completes.
                     self._ifetch[key] = [payload]
-                    stats.istore_misses += 1
+                    self.stats.istore_misses += 1
                     self._post(
-                        cycle + self._istore_penalty, EV_IFETCH, key
+                        cycle + self.config.istore_miss_penalty,
+                        "ifetch", key,
                     )
                 else:
                     queue.append(payload)
                 return
-            stats.istore_hits += 1
+            self.stats.istore_hits += 1
 
         # Store decoupling: STORE operands go straight to DISPATCH, one
         # message each, no matching rendezvous (Section 3.3.1).
         if self._d_is_store[inst_id]:
-            delay = 0 if (local and self._spec_fire) \
-                else self._match_delay
+            delay = 0 if (local and self.config.speculative_fire) \
+                else self.config.match_to_dispatch_delay
             self._post(
-                cycle + delay, EV_DISPATCH,
+                cycle + delay, "dispatch",
                 (pe, thread, wave, inst_id, (port, value)),
             )
             return
 
         table = self.matching[pe]
-        arity = self._d_arity[inst_id]
         result = table.insert(
             (thread, wave, inst_id), port, value,
-            self._d_slot[inst_id], arity, cycle
+            self._d_slot[inst_id], self._d_arity[inst_id], cycle
         )
         if not result.accepted:
             # Bank conflict: the sender retries next cycle.
-            stats.input_rejects += 1
-            if trace is not None:
-                trace.emit(cycle, "reject", pe, inst_id, thread, wave)
-            self._post(cycle + 1, EV_TOKEN, payload)
+            self.stats.input_rejects += 1
+            if self.trace is not None:
+                self.trace.emit(cycle, "reject", pe, inst_id, thread, wave)
+            self._post(
+                cycle + 1, "token",
+                (pe, thread, wave, inst_id, port, value, local),
+            )
             return
 
-        if trace is not None:
-            trace.emit(cycle, "input", pe, inst_id, thread, wave,
-                       f"port {port} = {value!r}")
-        stats.matching_inserts += 1
+        if self.trace is not None:
+            self.trace.emit(cycle, "input", pe, inst_id, thread, wave,
+                            f"port {port} = {value!r}")
+        self.stats.matching_inserts += 1
         if self.sanitizer is not None:
             self.sanitizer.note_table_size(pe, len(table), table.entries)
         if result.miss:
-            stats.matching_misses += 1
+            self.stats.matching_misses += 1
         if result.deflected:
             # The token itself takes the overflow round trip.
-            if trace is not None:
-                trace.emit(cycle, "overflow", pe, inst_id, thread,
-                           wave, "deflected")
+            if self.trace is not None:
+                self.trace.emit(cycle, "overflow", pe, inst_id, thread,
+                                wave, "deflected")
             self._post(
-                cycle + self._overflow_penalty, EV_TOKEN,
+                cycle + self.config.overflow_penalty, "token",
                 (pe, thread, wave, inst_id, port, value, False),
             )
             return
         if result.evicted is not None:
             # Victim tokens take a round trip through the in-memory
-            # overflow table and re-arrive later (all at the same
-            # cycle: one batch entry).
-            stats.matching_evictions += 1
+            # overflow table and re-arrive later.
+            self.stats.matching_evictions += 1
             v = result.evicted
-            vkey = v.key
-            self._post_tokens(
-                cycle + self._overflow_penalty,
-                [
-                    (pe, vkey[0], vkey[1], vkey[2], vport, vvalue, False)
-                    for vport, vvalue in v.ports.items()
-                ],
-            )
-        row = result.fired
-        if row is not None:
+            for vport, vvalue in v.ports.items():
+                self._post(
+                    cycle + self.config.overflow_penalty, "token",
+                    (pe, v.key[0], v.key[1], v.key[2], vport, vvalue,
+                     False),
+                )
+        if result.fired is not None:
+            row = result.fired
             ports = row.ports
-            # Arity-specialised operand gather (2 then 1 cover all but
-            # the predicate-merge cases).
-            if arity == 2:
-                operands = (ports[0], ports[1])
-            elif arity == 1:
-                operands = (ports[0],)
-            else:
-                operands = tuple(ports[p] for p in range(arity))
-            delay = 0 if (local and self._spec_fire) \
-                else self._match_delay
+            operands = tuple(
+                ports[p] for p in range(self._d_arity[inst_id])
+            )
+            delay = 0 if (local and self.config.speculative_fire) \
+                else self.config.match_to_dispatch_delay
             if delay == 0:
-                stats.speculative_hits += 1
-            if trace is not None:
-                trace.emit(
+                self.stats.speculative_hits += 1
+            if self.trace is not None:
+                self.trace.emit(
                     cycle, "match", pe, inst_id, thread, wave,
                     "speculative" if delay == 0 else "",
                 )
             self._post(
-                cycle + delay, EV_DISPATCH,
+                cycle + delay, "dispatch",
                 (pe, thread, wave, inst_id, operands),
             )
 
-    def _on_ifetch(self, cycle: int, payload: tuple) -> None:
+    def _on_ifetch(self, cycle: int, pe: int, inst_id: int) -> None:
         """An instruction fetch completed: bind it and replay the
         tokens that were waiting on it."""
-        pe, inst_id = payload
         self.istores[pe].fill(inst_id)
         if self.trace is not None:
             self.trace.emit(cycle, "ifetch", pe, inst_id, -1, -1)
-        queued = self._ifetch.pop(payload, [])
-        for queued_payload in queued:
+        queued = self._ifetch.pop((pe, inst_id), [])
+        for payload in queued:
             # Replay through the normal path; the instruction is
             # resident now (it cannot be evicted before these tokens
             # are processed because eviction only happens on a fill,
             # and fills happen in later events).
-            self._on_token(cycle, queued_payload)
+            self._on_token(cycle, *payload)
 
     # ==================================================================
     # DISPATCH + EXECUTE + OUTPUT
     # ==================================================================
-    def _on_dispatch(self, cycle: int, payload: tuple) -> None:
-        pe, thread, wave, inst_id, operands = payload
-        (opcode, kind, arity, latency, uses_fpu, alpha, imm, dests,
-         false_dests) = self._d_row[inst_id]
+    def _on_dispatch(
+        self,
+        cycle: int,
+        pe: int,
+        thread: int,
+        wave: int,
+        inst_id: int,
+        operands,
+    ) -> None:
+        opcode = self._d_opcode[inst_id]
         granted = self._dispatch[pe].reserve(cycle)
         exec_start = granted + 1
-        if uses_fpu:
-            domain = pe // self._pes_per_domain
+        if opcode.uses_fpu:
+            domain = pe // self.config.pes_per_domain
             exec_start = self._fpu[domain].reserve(exec_start)
-        done = exec_start + latency
-        if done > self._horizon:
-            self._horizon = done
-        stats = self.stats
-        stats.dispatches += 1
+        done = exec_start + opcode.latency
+        self._note_time(done)
+        self.stats.dispatches += 1
         if self.sanitizer is not None:
             # STORE halves dispatch decoupled, one operand each; every
             # other opcode consumes its full matched operand set.
             self.sanitizer.note_consumed(
-                1 if kind == K_STORE else arity
+                1 if opcode is Opcode.STORE else self._d_arity[inst_id]
             )
         if self.trace is not None:
             self.trace.emit(granted, "dispatch", pe, inst_id, thread,
@@ -779,11 +621,12 @@ class Engine:
             self.trace.emit(done, "execute", pe, inst_id, thread, wave)
 
         # STORE: a decoupled half-operation (operands == (port, value)).
-        if kind == K_STORE:
+        inst = self.graph[inst_id]
+        if opcode is Opcode.STORE:
             port, value = operands
             if port == 0:
-                stats.dynamic_instructions += 1
-                stats.alpha_instructions += 1
+                self.stats.dynamic_instructions += 1
+                self.stats.alpha_instructions += 1
                 self._send_memory_request(
                     pe, thread, wave, inst_id, value, done, is_data=False
                 )
@@ -793,76 +636,71 @@ class Engine:
                 )
             return
 
-        stats.dynamic_instructions += 1
-        if alpha:
-            stats.alpha_instructions += 1
+        self.stats.dynamic_instructions += 1
+        if opcode.alpha_equivalent:
+            self.stats.alpha_instructions += 1
 
-        if kind == K_ALU:  # the hottest case: plain ALU evaluation
-            value = self._evaluate(opcode, operands, imm)
-            self._deliver(pe, dests, thread, wave, value, done,
-                          bypass_from=granted)
-            return
-
-        if kind == K_MEMORY:  # LOAD / MEMORY_NOP
+        if opcode.is_memory:  # LOAD / MEMORY_NOP
             self._send_memory_request(
                 pe, thread, wave, inst_id, operands[0], done, is_data=False
             )
             return
 
-        if kind == K_OUTPUT:
-            stats.outputs.setdefault(inst_id, []).append(operands[0])
+        if opcode is Opcode.OUTPUT:
+            self.stats.outputs.setdefault(inst_id, []).append(operands[0])
             return
 
-        if kind == K_HALT:
+        if opcode is Opcode.THREAD_HALT:
             return
 
-        value = self._evaluate(opcode, operands, imm)
+        value = self._evaluate(opcode, operands, inst.immediate)
 
-        if kind == K_STEER:
-            if not steer_taken(operands):
-                dests = false_dests
+        if opcode is Opcode.STEER:
+            dests = inst.dests if steer_taken(operands) else inst.false_dests
             self._deliver(pe, dests, thread, wave, value, done,
                           bypass_from=granted)
             return
 
-        if kind == K_WAVE_ADVANCE:
-            self._advance_wave(pe, inst_id, thread, wave, value, done)
+        if opcode is Opcode.WAVE_ADVANCE:
+            self._advance_wave(pe, inst, thread, wave, value, done)
             return
 
-        # K_SPAWN: retag into the thread named by the immediate.
-        assert imm is not None
-        self._deliver(pe, dests, int(imm), 0, value, done)
+        if opcode is Opcode.THREAD_SPAWN:
+            assert inst.immediate is not None
+            self._deliver(
+                pe, inst.dests, int(inst.immediate), 0, value, done
+            )
+            return
+
+        self._deliver(pe, inst.dests, thread, wave, value, done,
+                      bypass_from=granted)
 
     # ==================================================================
     # Wave advance with k-loop bounding
     # ==================================================================
     def _advance_wave(
-        self, pe: int, inst_id: int, thread: int, wave: int, value: Value,
-        done: int,
+        self, pe: int, inst, thread: int, wave: int, value: Value, done: int
     ) -> None:
         out_wave = wave + 1
-        k = self._d_imm[inst_id]
+        k = inst.immediate
         if k is not None:
             needed = out_wave - int(k)
             if self._retired.get(thread, 0) < needed:
                 self._kbound_stalls.setdefault(thread, []).append(
-                    (needed, pe, inst_id, thread, out_wave, value,
+                    (needed, pe, inst.inst_id, thread, out_wave, value,
                      done)
                 )
                 return
-        self._deliver(
-            pe, self._d_dests[inst_id], thread, out_wave, value, done
-        )
+        self._deliver(pe, inst.dests, thread, out_wave, value, done)
 
     def _wave_retired(self, thread: int, wave: int, cycle: int) -> None:
         """Store-buffer callback: the wave completes at ``cycle``
         (possibly in the future -- retirement awaits the slowest memory
         operation), so the bookkeeping runs as an event then."""
         self._note_time(cycle)
-        self._post(cycle, EV_RETIRE, (thread, wave))
+        self._post(cycle, "retire", (thread, wave))
 
-    def _on_retire(self, cycle: int, payload: tuple) -> None:
-        thread, wave = payload
+    def _on_retire(self, cycle: int, thread: int, wave: int) -> None:
         if wave + 1 > self._retired.get(thread, 0):
             self._retired[thread] = wave + 1
         stalls = self._kbound_stalls.get(thread)
@@ -872,8 +710,9 @@ class Engine:
         for entry in stalls:
             needed, pe, inst_id, th, out_wave, value, done = entry
             if self._retired[thread] >= needed:
+                inst = self.graph[inst_id]
                 self._deliver(
-                    pe, self._d_dests[inst_id], th, out_wave, value,
+                    pe, inst.dests, th, out_wave, value,
                     max(done, cycle + 1),
                 )
             else:
@@ -895,53 +734,37 @@ class Engine:
         result *during* its EXECUTE stage (the appendix's Figure 9
         timeline), so its token is delivered a cycle before the result
         formally completes.
-
-        Consecutive deliveries landing on the same arrival cycle fuse
-        into one batch calendar entry (see :meth:`_post_tokens`).
         """
         spec_pod = (
-            bypass_from is not None and self._spec_fire
+            bypass_from is not None and self.config.speculative_fire
         )
         faults = self.faults
-        trace = self.trace
-        sanitizer = self.sanitizer
-        pe_of = self._pe_of
-        route_of = self.network.route
-        batch: Optional[list] = None
-        batch_cycle = -1
         for dest in dests:
-            dst_pe = pe_of[dest.inst]
+            dst_pe = self.placement.pe_of[dest.inst]
             if faults is not None and self._fault_drops(faults, dst_pe):
-                if trace is not None:
-                    trace.emit(cycle, "fault_drop", src_pe, dest.inst,
-                               thread, wave)
-                if sanitizer is not None:
-                    sanitizer.note_dropped()
+                if self.trace is not None:
+                    self.trace.emit(cycle, "fault_drop", src_pe, dest.inst,
+                                    thread, wave)
+                if self.sanitizer is not None:
+                    self.sanitizer.note_dropped()
                 continue
-            if sanitizer is not None:
-                sanitizer.note_created()
-            route = route_of(src_pe, dst_pe, cycle, "operand")
-            pod_local = route.level == "pod"
+            if self.sanitizer is not None:
+                self.sanitizer.note_created()
+            route = self.network.route(src_pe, dst_pe, cycle, "operand")
             arrive = cycle + route.latency
-            if spec_pod and pod_local:
+            if spec_pod and route.level == "pod":
                 arrive = max(bypass_from + 1, cycle - 1)
-            if trace is not None:
-                trace.emit(
+            if self.trace is not None:
+                self.trace.emit(
                     cycle, "output", src_pe, dest.inst, thread, wave,
                     f"{route.level} -> pe{dst_pe} "
                     f"(+{arrive - cycle})",
                 )
-            token = (dst_pe, thread, wave, dest.inst, dest.port, value,
-                     pod_local)
-            if arrive == batch_cycle:
-                batch.append(token)
-            else:
-                if batch is not None:
-                    self._post_tokens(batch_cycle, batch)
-                batch = [token]
-                batch_cycle = arrive
-        if batch is not None:
-            self._post_tokens(batch_cycle, batch)
+            self._post(
+                arrive, "token",
+                (dst_pe, thread, wave, dest.inst, dest.port, value,
+                 route.level == "pod"),
+            )
 
     def _fault_drops(self, faults, dst_pe: int) -> bool:
         """Deterministic fault-injection filter for operand delivery:
@@ -964,14 +787,6 @@ class Engine:
         cluster = self.placement.thread_home.get(thread, 0)
         return self.storebuffers[cluster]
 
-    def _on_sbaddr(self, cycle: int, payload: tuple) -> None:
-        sb, inst_id, thread, wave, value = payload
-        sb.submit_address(inst_id, thread, wave, value, cycle)
-
-    def _on_sbdata(self, cycle: int, payload: tuple) -> None:
-        sb, inst_id, thread, wave, value = payload
-        sb.submit_data(inst_id, thread, wave, value, cycle)
-
     def _send_memory_request(
         self,
         pe: int,
@@ -983,12 +798,12 @@ class Engine:
         is_data: bool,
     ) -> None:
         sb = self._home_storebuffer(thread)
-        src_cluster = pe // self._pes_per_cluster
+        src_cluster = pe // self.config.pes_per_cluster
         if src_cluster == sb.cluster:
-            latency = self._cluster_latency
+            latency = self.config.cluster_latency
             self.stats.record_message("memory", "cluster", latency)
         else:
-            latency = self._domain_latency + \
+            latency = self.config.domain_latency + \
                 self.network.route_clusters(src_cluster, sb.cluster, cycle)
         arrive = cycle + latency
         self._note_time(arrive)
@@ -997,45 +812,36 @@ class Engine:
                 cycle, "mem_req", pe, inst_id, thread, wave,
                 f"{'data' if is_data else 'addr'} -> sb{sb.cluster}",
             )
-        tag = EV_SBDATA if is_data else EV_SBADDR
+        tag = "sbdata" if is_data else "sbaddr"
         self._post(arrive, tag, (sb, inst_id, thread, wave, value))
 
     def _memory_complete(self, op: MemOp, value: Value, cycle: int) -> None:
         """Store-buffer completion: deliver the result to consumers."""
         self._note_time(cycle)
-        inst_id = op.inst_id
+        inst = self.graph[op.inst_id]
         if self.trace is not None:
             self.trace.emit(
-                cycle, "mem_done", -1, inst_id, op.thread, op.wave,
+                cycle, "mem_done", -1, op.inst_id, op.thread, op.wave,
                 f"= {value!r}",
             )
         sb_cluster = self.placement.thread_home.get(op.thread, 0)
-        batch: Optional[list] = None
-        batch_cycle = -1
-        for dest in self._d_dests[inst_id]:
+        for dest in inst.dests:
             if self.sanitizer is not None:
                 self.sanitizer.note_created()
-            dst_pe = self._pe_of[dest.inst]
-            dst_cluster = dst_pe // self._pes_per_cluster
+            dst_pe = self.placement.pe_of[dest.inst]
+            dst_cluster = dst_pe // self.config.pes_per_cluster
             if dst_cluster == sb_cluster:
-                latency = self._cluster_latency
+                latency = self.config.cluster_latency
                 self.stats.record_message("memory", "cluster", latency)
             else:
                 latency = self.network.route_clusters(
                     sb_cluster, dst_cluster, cycle
-                ) + self._domain_latency
-            token = (dst_pe, op.thread, op.wave, dest.inst, dest.port,
-                     value, False)
-            arrive = cycle + latency
-            if arrive == batch_cycle:
-                batch.append(token)
-            else:
-                if batch is not None:
-                    self._post_tokens(batch_cycle, batch)
-                batch = [token]
-                batch_cycle = arrive
-        if batch is not None:
-            self._post_tokens(batch_cycle, batch)
+                ) + self.config.domain_latency
+            self._post(
+                cycle + latency, "token",
+                (dst_pe, op.thread, op.wave, dest.inst, dest.port, value,
+                 False),
+            )
 
 
 def simulate(
@@ -1046,15 +852,14 @@ def simulate(
     strict: bool = True,
     warm_caches: bool = True,
     max_events: int = 200_000_000,
-    compiled: Optional[CompiledGraph] = None,
 ) -> SimStats:
     """Convenience wrapper: place (if needed) and run ``graph``."""
     if placement is None:
-        from ..place.snake import place
+        from ...place.snake import place
 
         placement = place(graph, config)
     engine = Engine(
         graph, config, placement, max_cycles=max_cycles,
-        warm_caches=warm_caches, max_events=max_events, compiled=compiled,
+        warm_caches=warm_caches, max_events=max_events,
     )
     return engine.run(strict=strict)

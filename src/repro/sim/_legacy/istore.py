@@ -17,21 +17,9 @@ from collections import OrderedDict
 class InstructionStore:
     """LRU-managed instruction residency for one PE."""
 
-    __slots__ = (
-        "capacity",
-        "assigned",
-        "over_subscribed",
-        "_resident",
-        "hits",
-        "misses",
-    )
-
     def __init__(self, capacity: int, assigned: list[int]) -> None:
         self.capacity = capacity
         self.assigned = list(assigned)
-        #: Whether residency can ever miss; fixed at construction, so
-        #: the engine's per-token check is one attribute load.
-        self.over_subscribed = len(self.assigned) > capacity
         self._resident: OrderedDict[int, None] = OrderedDict()
         # Pre-load in slot order up to capacity (cold start: the first
         # `capacity` instructions are resident, mirroring initial
@@ -40,6 +28,10 @@ class InstructionStore:
             self._resident[inst_id] = None
         self.hits = 0
         self.misses = 0
+
+    @property
+    def over_subscribed(self) -> bool:
+        return len(self.assigned) > self.capacity
 
     def is_resident(self, inst_id: int) -> bool:
         return inst_id in self._resident
@@ -56,18 +48,12 @@ class InstructionStore:
         return False
 
     def hit(self, inst_id: int) -> bool:
-        """Probe for residency; refreshes LRU and counts on a hit.
-
-        Single probe: ``move_to_end`` both answers the membership
-        question and refreshes recency (the historical ``in`` check
-        followed by ``move_to_end`` probed the dict twice per token).
-        """
-        try:
+        """Probe for residency; refreshes LRU and counts on a hit."""
+        if inst_id in self._resident:
             self._resident.move_to_end(inst_id)
-        except KeyError:
-            return False
-        self.hits += 1
-        return True
+            self.hits += 1
+            return True
+        return False
 
     def fill(self, inst_id: int) -> None:
         """Complete a fetch: bind ``inst_id``, evicting LRU if full."""
@@ -78,8 +64,3 @@ class InstructionStore:
 
     def resident_count(self) -> int:
         return len(self._resident)
-
-    def occupancy(self) -> float:
-        """Fraction of the store's slots currently bound."""
-        return len(self._resident) / self.capacity if self.capacity \
-            else 0.0

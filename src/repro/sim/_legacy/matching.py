@@ -51,14 +51,6 @@ class InsertResult:
     deflected: bool = False
 
 
-#: Shared immutable-in-practice results for the outcomes that carry no
-#: row, so the single-probe hit path (the all-ports-rendezvous common
-#: case) allocates nothing.  Callers treat results as read-only.
-_REJECTED = InsertResult(accepted=False)
-_ACCEPTED = InsertResult(accepted=True)
-_DEFLECTED = InsertResult(accepted=True, miss=True, deflected=True)
-
-
 class MatchingTable:
     """Banked, set-associative operand cache for one PE."""
 
@@ -76,9 +68,6 @@ class MatchingTable:
         self.banks = banks
         self.hash_k = max(1, hash_k)
         self.sets = max(1, entries // associativity)
-        #: Instruction groups of the tuned hash (see :meth:`set_index`),
-        #: precomputed once instead of divided on every insert.
-        self._groups = self.sets // self.hash_k
         self._rows: dict[tuple[int, int, int], MatchRow] = {}
         self._by_set: dict[int, list[MatchRow]] = {}
         self._bank_cycle = -1
@@ -102,7 +91,7 @@ class MatchingTable:
         fall back to a plain mixed hash.
         """
         k = self.hash_k
-        groups = self._groups
+        groups = self.sets // k
         if groups >= 1:
             return (slot % groups) * k + (wave % k)
         return (slot + wave) % self.sets
@@ -125,37 +114,19 @@ class MatchingTable:
         Enforces the 4-arrivals-per-cycle bank limit; on success either
         records the operand, completes the row (``fired``), or evicts a
         victim to the overflow table (``miss``).
-
-        The common all-ports-rendezvous case -- the row exists and this
-        operand lands in it, possibly completing it -- runs a single
-        dict probe with the hash and bank claim inlined, and returns a
-        shared allocation-free result unless a row must travel with it.
         """
-        k = self.hash_k
-        groups = self._groups
-        if groups >= 1:
-            set_idx = (slot % groups) * k + (key[1] % k)
-        else:
-            set_idx = (slot + key[1]) % self.sets
-        if cycle != self._bank_cycle:
-            self._bank_cycle = cycle
-            self._bank_used = {}
-        bank = set_idx % self.banks
-        used = self._bank_used
-        if bank in used:
-            return _REJECTED
-        used[bank] = 1
+        set_idx = self.set_index(slot, key[1])
+        if not self._claim_bank(set_idx, cycle):
+            return InsertResult(accepted=False)
 
         row = self._rows.get(key)
         if row is not None:
-            ports = row.ports
-            ports[port] = value
+            row.ports[port] = value
             row.last_use = cycle
-            if len(ports) >= arity:
-                del self._rows[key]
-                self._by_set[set_idx].remove(row)
+            if len(row.ports) >= arity:
+                self._remove(row, set_idx)
                 return InsertResult(accepted=True, fired=row)
-            return _ACCEPTED
+            return InsertResult(accepted=True)
 
         ways = self._by_set.setdefault(set_idx, [])
         evicted = None
@@ -175,7 +146,8 @@ class MatchingTable:
 
             victim = max(ways, key=lambda r: priority(r.key))
             if priority(key) >= priority(victim.key):
-                return _DEFLECTED
+                return InsertResult(accepted=True, miss=True,
+                                    deflected=True)
             evicted = victim
             self._remove(evicted, set_idx)
             miss = True
@@ -188,8 +160,6 @@ class MatchingTable:
             return InsertResult(
                 accepted=True, fired=row, evicted=evicted, miss=miss
             )
-        if evicted is None and not miss:
-            return _ACCEPTED
         return InsertResult(accepted=True, evicted=evicted, miss=miss)
 
     def has_free_way(self, slot: int, wave: int) -> bool:
@@ -217,6 +187,16 @@ class MatchingTable:
         return list(self._rows.values())
 
     # ------------------------------------------------------------------
+    def _claim_bank(self, set_idx: int, cycle: int) -> bool:
+        if cycle != self._bank_cycle:
+            self._bank_cycle = cycle
+            self._bank_used = {}
+        bank = set_idx % self.banks
+        if self._bank_used.get(bank, 0) >= 1:
+            return False
+        self._bank_used[bank] = 1
+        return True
+
     def _remove(self, row: MatchRow, set_idx: int) -> None:
         del self._rows[row.key]
         self._by_set[set_idx].remove(row)

@@ -71,7 +71,7 @@ class CacheArray:
         return line in self._set_of(line)
 
 
-@dataclass
+@dataclass(slots=True)
 class DirectoryEntry:
     """Directory knowledge about one line's L1 copies."""
 

@@ -45,11 +45,16 @@ class BandwidthLedger:
     def reserve(self, cycle: int) -> int:
         """Reserve the earliest slot at or after ``cycle``; returns the
         cycle actually granted."""
-        t = max(cycle, self._floor)
+        floor = self._floor
+        t = cycle if cycle > floor else floor
         used = self._used
-        while used.get(t, 0) >= self.per_cycle:
+        get = used.get
+        count = get(t, 0)
+        per_cycle = self.per_cycle
+        while count >= per_cycle:
             t += 1
-        used[t] = used.get(t, 0) + 1
+            count = get(t, 0)
+        used[t] = count + 1
         # Opportunistic cleanup: once a cycle saturates below the floor
         # it can never be queried again.
         if len(used) > 4096:
@@ -66,7 +71,7 @@ class BandwidthLedger:
         return t - cycle
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Route:
     """The cost of sending one message."""
 

@@ -111,3 +111,22 @@ def test_truncated_export_records_drop_count(tmp_path):
     assert metadata["events_dropped"] == engine.trace.dropped > 0
     assert metadata["limit"] == 50
     assert metadata["drop_policy"] == "drop_newest"
+
+
+def test_integer_tags_render_with_names():
+    """A trace carrying raw integer calendar tags (repro.sim.events)
+    still exports with human-readable event names."""
+    from repro.sim.events import EV_DISPATCH, EV_RETIRE, EV_TOKEN
+
+    events = [
+        TraceEvent(1, EV_TOKEN, 0, 5, 0, 0),
+        TraceEvent(2, EV_DISPATCH, 0, 5, 0, 0, "ADD"),
+        TraceEvent(3, 3, 0, 5, 0, 0),  # EV_SBDATA
+        TraceEvent(4, EV_RETIRE, 0, 5, 0, 0),
+        TraceEvent(5, 99, 0, 5, 0, 0),  # unregistered tag
+    ]
+    names = {
+        e["name"] for e in chrome_trace_events(events) if e["ph"] != "M"
+    }
+    assert {"token", "ADD", "sbdata", "retire", "tag99"} <= names
+    assert not any(isinstance(n, int) for n in names)

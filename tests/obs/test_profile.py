@@ -134,3 +134,23 @@ def test_profiling_does_not_change_results():
     assert profiled.cycles == plain.cycles
     assert profiled.dispatches == plain.dispatches
     assert profiled.output_values() == plain.output_values()
+
+
+def test_phase_of_tag_maps_calendar_tags():
+    from repro.obs.profile import PHASES, phase_of_tag
+    from repro.sim.events import (
+        EV_DISPATCH,
+        EV_RETIRE,
+        EV_SBADDR,
+        EV_TOKEN,
+        EV_TOKEN_BATCH,
+    )
+
+    assert phase_of_tag(EV_TOKEN) == "input"
+    assert phase_of_tag(EV_TOKEN_BATCH) == "input"
+    assert phase_of_tag(EV_DISPATCH) == "dispatch"
+    assert phase_of_tag(EV_SBADDR) == "memory"
+    assert phase_of_tag(EV_RETIRE) == "other"
+    assert phase_of_tag(999) == "other"  # foreign tags never raise
+    for tag in range(7):
+        assert phase_of_tag(tag) in PHASES

@@ -49,3 +49,31 @@ def test_counters():
     assert store.hits == 1
     assert store.misses == 2
     assert store.resident_count() == 1
+
+
+def test_hit_refreshes_recency():
+    # The single-probe hit path must still refresh LRU order: after
+    # touching 1, the next eviction takes 2.
+    store = InstructionStore(capacity=2, assigned=[1, 2, 3])
+    assert store.hit(1)
+    store.fill(3)
+    assert store.is_resident(1)
+    assert store.is_resident(3)
+    assert not store.is_resident(2)
+
+
+def test_missed_probe_counts_nothing():
+    store = InstructionStore(capacity=2, assigned=[1, 2, 3])
+    assert not store.hit(3)
+    assert store.hits == 0
+    assert store.misses == 0
+
+
+def test_occupancy():
+    store = InstructionStore(capacity=4, assigned=[1, 2])
+    assert store.occupancy() == 0.5
+    store.touch(1)  # hits don't change residency
+    assert store.occupancy() == 0.5
+    full = InstructionStore(capacity=2, assigned=[1, 2, 3])
+    assert full.occupancy() == 1.0
+    assert InstructionStore(capacity=0, assigned=[]).occupancy() == 0.0

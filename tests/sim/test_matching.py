@@ -101,6 +101,36 @@ def test_occupancy():
     assert t.occupancy() == 1 / 16
 
 
+def test_shared_results_carry_no_row_state():
+    """The allocation-free fast-path results must be flag-clean."""
+    t = table()
+    r1 = t.insert((0, 0, 5), 0, 1, slot=0, arity=2, cycle=0)
+    assert r1.accepted and not r1.miss and not r1.deflected
+    assert r1.fired is None and r1.evicted is None
+    # Same set, same cycle -> bank conflict: the shared rejection.
+    r2 = t.insert((0, 4, 6), 0, 1, slot=0, arity=2, cycle=0)
+    assert not r2.accepted
+    assert r2.fired is None and r2.evicted is None
+    assert not r2.miss and not r2.deflected
+
+
+def test_inlined_insert_hash_matches_set_index():
+    """insert's inlined hash and the public set_index must agree --
+    in the tuned-hash regime and in the small-table fallback."""
+    tuned = MatchingTable(entries=8, associativity=2, banks=1, hash_k=2)
+    assert tuned.has_free_way(3, 1)
+    tuned.insert((0, 1, 1), 0, 1, slot=3, arity=2, cycle=0)
+    tuned.insert((0, 3, 2), 0, 1, slot=3, arity=2, cycle=1)
+    assert not tuned.has_free_way(3, 1)
+
+    # sets (=2) < hash_k (=8): the fallback (slot + wave) % sets hash.
+    small = MatchingTable(entries=4, associativity=2, banks=1, hash_k=8)
+    assert small.has_free_way(1, 1)
+    small.insert((0, 1, 1), 0, 1, slot=1, arity=2, cycle=0)
+    small.insert((0, 2, 2), 0, 1, slot=0, arity=2, cycle=1)
+    assert not small.has_free_way(1, 1)
+
+
 @settings(max_examples=40, deadline=None)
 @given(
     tokens=st.lists(
