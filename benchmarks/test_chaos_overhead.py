@@ -1,0 +1,131 @@
+"""Chaos-hook overhead guard: disabled hooks must be (nearly) free.
+
+The chaos layer threads gates through the hot sweep path -- the
+ledger's append/fsync hooks, the scheduler's post-dispatch kill check,
+the supervisor's per-attempt sabotage lookup.  The contract from
+DESIGN.md 5g is that a production sweep (``chaos=None``) pays only an
+attribute test at each gate.  There is no hook-free variant left in
+the tree to time, so the guard measures the next-strongest claim: an
+*armed but idle* controller (every point disarmed, so every gate runs
+its full selection logic and never fires) must stay within 2% of the
+disabled path on the standard jobs=4 campaign.  The disabled path's
+own cost is bounded above by that same delta.
+
+Timing is interleaved best-of-N wall clock (the sweep fans out worker
+processes, so driver CPU time alone would miss them), the same
+discipline as ``test_sweep_throughput``.  Measurements land in
+``BENCH_chaos.json`` at the repo root, next to ``BENCH_engine.json``.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import time
+from pathlib import Path
+
+from repro.design import viable_designs
+from repro.harness import ChaosPlan, RunSupervisor, design_space_sweep
+from repro.workloads import SPLASH_NAMES, Scale
+
+from .conftest import full_sweep
+
+BENCH_CHAOS_JSON = Path(__file__).resolve().parents[1] / \
+    "BENCH_chaos.json"
+
+OVERHEAD_CEILING = 0.02  # the <2% contract
+#: Absolute slack absorbing timer granularity on very fast campaigns;
+#: dominated by the relative ceiling on any realistic run.
+EPSILON_S = 0.05
+ROUNDS = 3
+
+
+def campaign():
+    """Smallest-area viable designs: the overhead contract is about
+    per-cell gate cost, so many cheap cells beat few expensive ones
+    (and keep three interleaved rounds affordable in CI)."""
+    designs = sorted(viable_designs(), key=lambda d: d.area_mm2)
+    if full_sweep():
+        return designs[:12], SPLASH_NAMES
+    return designs[:6], SPLASH_NAMES[:4]
+
+
+def run_sweep(tmp_path, tag, chaos):
+    designs, names = campaign()
+    points, report = design_space_sweep(
+        designs, names, scale=Scale.TINY, threaded=False,
+        ledger_path=tmp_path / f"{tag}.jsonl", jobs=4,
+        supervisor=RunSupervisor(isolation="inline"),
+        chaos=chaos,
+    )
+    assert report.total > 0 and not report.aborted
+    return points, report
+
+
+def interleaved_best(fn_a, fn_b, rounds):
+    best_a = best_b = float("inf")
+    gc.disable()
+    try:
+        for _ in range(rounds):
+            started = time.perf_counter()
+            fn_a()
+            best_a = min(best_a, time.perf_counter() - started)
+            started = time.perf_counter()
+            fn_b()
+            best_b = min(best_b, time.perf_counter() - started)
+    finally:
+        gc.enable()
+    return best_a, best_b
+
+
+def test_disabled_chaos_hooks_are_free(tmp_path):
+    inert = ChaosPlan(points=(), rate=0.0).controller()
+    runs = {"disabled": 0, "inert": 0}
+
+    def disabled():
+        runs["disabled"] += 1
+        return run_sweep(tmp_path / f"off{runs['disabled']}",
+                         "off", None)
+
+    def armed_idle():
+        runs["inert"] += 1
+        return run_sweep(tmp_path / f"idle{runs['inert']}",
+                         "idle", inert)
+
+    # Identity first: an idle controller must not change any result.
+    baseline_points, baseline_report = disabled()
+    idle_points, _ = armed_idle()
+    assert idle_points == baseline_points
+    assert not inert.events  # nothing may have fired
+
+    disabled_s, inert_s = interleaved_best(disabled, armed_idle,
+                                           ROUNDS)
+    overhead = inert_s / disabled_s - 1.0
+
+    designs, names = campaign()
+    cells = baseline_report.total
+    payload = {
+        "campaign": {
+            "designs": len(designs),
+            "workloads": list(names),
+            "scale": "tiny",
+            "jobs": 4,
+            "cells": cells,
+        },
+        "rounds": ROUNDS,
+        "disabled_s": round(disabled_s, 4),
+        "armed_idle_s": round(inert_s, 4),
+        "overhead": round(overhead, 4),
+        "ceiling": OVERHEAD_CEILING,
+        "disabled_cells_per_s": round(cells / disabled_s, 2),
+        "verdicts_identical": True,
+    }
+    BENCH_CHAOS_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\n===== BENCH_chaos =====\n{json.dumps(payload, indent=2)}\n")
+
+    assert inert_s <= disabled_s * (1.0 + OVERHEAD_CEILING) \
+        + EPSILON_S, (
+        f"chaos hooks cost {overhead:.1%} on the jobs=4 sweep "
+        f"(disabled {disabled_s:.3f}s vs armed-idle {inert_s:.3f}s); "
+        f"ceiling is {OVERHEAD_CEILING:.0%}"
+    )

@@ -6,22 +6,29 @@ This package provides the pieces:
 
 * :mod:`repro.sim.failures` (re-exported here) -- the failure
   taxonomy: true deadlock vs cycle/event budget exhaustion vs
-  watchdog timeout vs worker crash, each carrying diagnostics;
+  watchdog timeout vs worker crash vs poisoned cell, each carrying
+  diagnostics;
 * :class:`~repro.harness.spec.CellSpec` -- a content-hashed
   ``(config, workload, threads, budgets, ...)`` unit of work;
 * :class:`~repro.harness.supervisor.RunSupervisor` -- subprocess
   isolation, a wall-clock watchdog, and bounded retry with escalated
   budgets for transient failures;
 * :class:`~repro.harness.ledger.Ledger` -- crash-safe JSONL
-  checkpointing keyed by cell hash, enabling ``resume``;
+  checkpointing keyed by cell hash, with per-record checksums and
+  ``verify``/``repair``/``compact`` self-healing, enabling ``resume``;
 * :mod:`repro.harness.scheduler` -- lane-based parallel execution:
   independent ``(design, workload)`` lanes fan out across worker
   processes (``jobs=N``) while the driver stays the single ledger
-  writer;
+  writer, with a per-cell circuit breaker, jittered worker-respawn
+  backoff, and a campaign failure-rate budget;
 * :func:`~repro.harness.sweep.design_space_sweep` -- the resumable
   Pareto-evaluation loop used by ``python -m repro sweep``;
 * :class:`~repro.harness.faults.FaultPlan` -- deterministic fault
-  injection proving each failure class is caught and classified.
+  injection proving each failure class is caught and classified;
+* :mod:`repro.harness.chaos` -- seeded whole-runtime fault injection
+  (worker kills, driver crashes, torn/corrupt ledger lines, fsync
+  failures) plus :class:`~repro.harness.chaos.ChaosInvariants`, the
+  oracle proving recovery is bit-identical to an undisturbed run.
 """
 
 from ..sim.failures import (
@@ -29,6 +36,7 @@ from ..sim.failures import (
     CycleBudgetExhausted,
     EventBudgetExhausted,
     FailureDiagnostics,
+    PoisonedCell,
     SimulationDeadlock,
     SimulationFailure,
     TrueDeadlock,
@@ -37,9 +45,31 @@ from ..sim.failures import (
     classify,
     is_transient,
 )
+from .chaos import (
+    POINTS,
+    ChaosCampaignReport,
+    ChaosController,
+    ChaosDriverCrash,
+    ChaosInvariants,
+    ChaosPlan,
+    run_chaos_campaign,
+)
 from .faults import FaultPlan
-from .ledger import Ledger, open_ledger, summarize
-from .scheduler import Lane, execute_lanes, static_rejection
+from .ledger import (
+    Ledger,
+    LedgerAudit,
+    MaintenanceReport,
+    open_ledger,
+    summarize,
+)
+from .scheduler import (
+    BREAKER_THRESHOLD,
+    CircuitBreaker,
+    Lane,
+    RespawnBackoff,
+    execute_lanes,
+    static_rejection,
+)
 from .spec import SWEEP_MAX_CYCLES, SWEEP_MAX_EVENTS, CellSpec
 from .supervisor import (
     DEFAULT_TIMEOUT_S,
@@ -50,9 +80,16 @@ from .supervisor import (
 from .sweep import CellFailure, SweepReport, design_space_sweep, sweep_cells
 
 __all__ = [
+    "BREAKER_THRESHOLD",
     "CellFailure",
     "CellResult",
     "CellSpec",
+    "ChaosCampaignReport",
+    "ChaosController",
+    "ChaosDriverCrash",
+    "ChaosInvariants",
+    "ChaosPlan",
+    "CircuitBreaker",
     "Lane",
     "CycleBudgetExhausted",
     "DEFAULT_TIMEOUT_S",
@@ -61,6 +98,11 @@ __all__ = [
     "FailureDiagnostics",
     "FaultPlan",
     "Ledger",
+    "LedgerAudit",
+    "MaintenanceReport",
+    "POINTS",
+    "PoisonedCell",
+    "RespawnBackoff",
     "RunSupervisor",
     "SimulationDeadlock",
     "SimulationFailure",
@@ -76,6 +118,7 @@ __all__ = [
     "execute_lanes",
     "is_transient",
     "open_ledger",
+    "run_chaos_campaign",
     "static_rejection",
     "summarize",
     "sweep_cells",

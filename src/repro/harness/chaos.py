@@ -1,0 +1,648 @@
+"""Deterministic, seeded fault injection for the campaign runtime.
+
+The distributed-sweep north star turns worker crashes, torn writes,
+and stuck processes from rare accidents into steady state.  This
+module makes the campaign runtime *provably* crash-consistent under
+those faults: a seeded :class:`ChaosPlan` decides -- purely from
+``sha256(seed, point, cell identity)`` -- which of the named
+injection :data:`POINTS` fire where, the runtime recovers using only
+its production machinery (resume, repair, circuit breaker, backoff),
+and :class:`ChaosInvariants` proves the result is bit-identical to an
+undisturbed serial run.
+
+Injection points::
+
+    worker_kill     SIGKILL the supervisor's child mid-cell
+    worker_stall    child sleeps past the watchdog allowance
+    poison          child dies on *every* attempt (breaker must trip)
+    scheduler_kill  SIGKILL a scheduler worker right after dispatch
+    driver_crash    driver dies between two ledger batches
+    torn_line       a ledger line is truncated mid-write (driver dies)
+    corrupt_line    a ledger line's bytes rot after landing
+    dup_line        a ledger line is written twice
+    fsync_error     fsync raises ENOSPC once (disk full)
+    result_delay    a worker's verdict is delivered late
+
+Determinism is the point: the same seed fires the same faults at the
+same cells in every run, so a chaos failure reproduces exactly.
+Selection needs no RNG state in workers -- the plan is a frozen
+dataclass that pickles into them.  Driver-side one-shot state lives in
+the :class:`ChaosController`, which persists across campaign passes,
+so every fault fires at most once and the resume loop provably
+converges.
+"""
+
+from __future__ import annotations
+
+import errno
+import hashlib
+import json
+import os
+import signal
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Optional, Sequence
+
+from ..obs.metrics import (
+    MetricsRegistry,
+    aggregate_records,
+    deterministic_counters,
+)
+from .ledger import Ledger, LedgerAudit
+from .spec import CellSpec
+from .supervisor import RunSupervisor
+from .sweep import SweepReport, design_space_sweep
+
+#: The injection-point catalogue.  Every point has a matching
+#: ``chaos_<point>`` counter in :data:`repro.obs.metrics.CHAOS_COUNTERS`
+#: (asserted by the registry-sync test) and a recovery test in
+#: ``tests/harness/test_chaos.py``.
+POINTS = (
+    "worker_kill",
+    "worker_stall",
+    "poison",
+    "scheduler_kill",
+    "driver_crash",
+    "torn_line",
+    "corrupt_line",
+    "dup_line",
+    "fsync_error",
+    "result_delay",
+)
+
+
+class ChaosDriverCrash(RuntimeError):
+    """The emulated driver death.  Deliberately *not* an ``OSError``:
+    the ledger's append-retry path must never swallow it -- a dead
+    driver does not retry anything."""
+
+
+def _chance(seed: int, point: str, key: str) -> float:
+    """Deterministic uniform [0, 1) draw for (seed, point, key)."""
+    digest = hashlib.sha256(
+        f"{seed}:{point}:{key}".encode()
+    ).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0 ** 64
+
+
+@dataclass(frozen=True)
+class Sabotage:
+    """One injected misbehavior for a supervised attempt, decided
+    driver-side and shipped to the child, which applies it blindly
+    (no chaos logic runs in children).  ``retryable`` tells the
+    supervisor the failure was injected: retry the same spec without
+    burning the real retry budget."""
+
+    point: str
+    stall_s: float = 0.0
+    kill: bool = False
+    retryable: bool = True
+
+    def apply(self) -> None:  # pragma: no cover - dies by design
+        if self.stall_s > 0:
+            time.sleep(self.stall_s)
+        if self.kill:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """The seeded, picklable fault schedule.
+
+    ``selected(point, key)`` is a pure function, so the driver, the
+    workers, and the invariant checker all agree on which faults
+    belong to which cells without sharing any state.  ``rate`` is the
+    per-(point, cell) firing probability; ``poison_rate`` is separate
+    because poisoning is the most invasive injection (three forced
+    dispatches per poisoned cell).
+    """
+
+    seed: int = 0
+    points: tuple[str, ...] = POINTS
+    rate: float = 0.25
+    poison_rate: float = 0.0
+    stall_s: float = 2.0  # must exceed the supervisor watchdog
+    delay_s: float = 0.05
+    crash_batch: int = 0  # 0 = derive from the seed
+
+    def __post_init__(self) -> None:
+        unknown = set(self.points) - set(POINTS)
+        if unknown:
+            raise ValueError(f"unknown chaos points: {sorted(unknown)}")
+
+    def selected(self, point: str, key: str) -> bool:
+        if point not in self.points:
+            return False
+        rate = self.poison_rate if point == "poison" else self.rate
+        return _chance(self.seed, point, key) < rate
+
+    def resolved_crash_batch(self) -> int:
+        return self.crash_batch or 1 + self.seed % 3
+
+    def sabotage_for(self, spec: CellSpec,
+                     attempt: int) -> Optional[Sabotage]:
+        """The sabotage (if any) for one supervised attempt of one
+        cell.  ``poison`` fires on *every* attempt -- that is what
+        forces the circuit breaker to trip -- while ``worker_kill``
+        and ``worker_stall`` fire only on the first, so the
+        supervisor's injected-failure retry succeeds."""
+        identity = spec.identity_hash()
+        if self.selected("poison", identity):
+            return Sabotage("poison", kill=True, retryable=False)
+        if attempt == 1:
+            if self.selected("worker_kill", identity):
+                return Sabotage("worker_kill", kill=True)
+            if self.selected("worker_stall", identity):
+                return Sabotage("worker_stall", stall_s=self.stall_s)
+        return None
+
+    def controller(self) -> "ChaosController":
+        return ChaosController(self)
+
+
+class ChaosController:
+    """Driver-side chaos state: one-shot firing memory, the injection
+    event log, and the counters.
+
+    One instance spans a whole campaign -- including every resume pass
+    -- so each (point, key) fires at most once ever.  That is the
+    convergence argument: each pass either finishes cleanly or burns
+    at least one injection, and the injection supply is finite.
+    """
+
+    def __init__(self, plan: ChaosPlan) -> None:
+        self.plan = plan
+        self.events: list[dict] = []
+        self.registry = MetricsRegistry()
+        self._once: set[tuple[str, str]] = set()
+        self._batches = 0
+        self._fsyncs = 0
+        self._crash_after_write = False
+        self._fsync_fired = False
+        self._driver_crash_fired = False
+
+    # ------------------------------------------------------------------
+    def _record(self, point: str, key: str) -> None:
+        self.events.append({"point": point, "key": key})
+        self.registry.counter("chaos_injections_total").inc()
+        self.registry.counter(f"chaos_{point}").inc()
+
+    def _fire(self, point: str, key: str) -> bool:
+        """True exactly once per (point, key) the plan selects."""
+        if not self.plan.selected(point, key):
+            return False
+        if (point, key) in self._once:
+            return False
+        self._once.add((point, key))
+        self._record(point, key)
+        return True
+
+    # -- ledger hooks ---------------------------------------------------
+    def mangle_lines(self, pairs: Sequence[tuple[dict, str]]) -> list[str]:
+        """Corrupt an append batch on its way to disk.  ``pairs`` are
+        ``(sealed record, serialized line)``; returns the lines to
+        actually write.  A torn line is moved to the end of the batch
+        and truncated without its newline -- exactly the byte pattern
+        a mid-``write`` driver death leaves -- and the following
+        :meth:`fsync_gate` then kills the driver, because a torn line
+        followed by further appends would not be torn at all."""
+        lines: list[str] = []
+        torn: Optional[str] = None
+        for record, line in pairs:
+            key = record.get("hash", "")
+            if self._fire("dup_line", key):
+                lines.append(line)
+                lines.append(line)
+                continue
+            if self._fire("corrupt_line", key):
+                body = line.rstrip("\n")
+                mid = len(body) // 2
+                lines.append(
+                    body[:mid] + "#chaos#" + body[mid + 7:] + "\n"
+                )
+                continue
+            if torn is None and self._fire("torn_line", key):
+                torn = line
+                continue
+            lines.append(line)
+        if torn is not None:
+            body = torn.rstrip("\n")
+            lines.append(body[: max(1, len(body) // 2)])
+            self._crash_after_write = True
+        return lines
+
+    def fsync_gate(self) -> None:
+        """Called by the ledger between ``flush`` and ``fsync``.  May
+        kill the driver (after a torn write) or fail the fsync once
+        with ``ENOSPC`` -- the ledger's append-retry path must absorb
+        the latter."""
+        if self._crash_after_write:
+            self._crash_after_write = False
+            raise ChaosDriverCrash(
+                "driver died mid-append (torn ledger line written)"
+            )
+        self._fsyncs += 1
+        if ("fsync_error" in self.plan.points
+                and not self._fsync_fired
+                and self.plan.selected("fsync_error",
+                                       f"fsync:{self._fsyncs}")):
+            self._fsync_fired = True
+            self._record("fsync_error", f"fsync:{self._fsyncs}")
+            raise OSError(errno.ENOSPC,
+                          "chaos: injected fsync failure (disk full)")
+
+    # -- scheduler hooks ------------------------------------------------
+    def driver_batch_gate(self) -> None:
+        """Called by the driver after each durable ledger batch; kills
+        the driver once at the seeded batch number.  Records already
+        written survive; everything in memory is lost -- resume must
+        recover the rest."""
+        self._batches += 1
+        if ("driver_crash" in self.plan.points
+                and not self._driver_crash_fired
+                and self._batches >= self.plan.resolved_crash_batch()):
+            self._driver_crash_fired = True
+            self._record("driver_crash", f"batch:{self._batches}")
+            raise ChaosDriverCrash(
+                f"driver died after ledger batch {self._batches}"
+            )
+
+    def kill_worker(self, identity: str) -> bool:
+        """Whether to SIGKILL the scheduler worker a cell was just
+        dispatched to (once per cell)."""
+        return self._fire("scheduler_kill", identity)
+
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        if not self.events:
+            return "no injections fired"
+        by_point: dict[str, int] = {}
+        for event in self.events:
+            by_point[event["point"]] = by_point.get(event["point"], 0) + 1
+        parts = [f"{point} x{count}"
+                 for point, count in sorted(by_point.items())]
+        return f"{len(self.events)} injection(s): " + ", ".join(parts)
+
+
+# ----------------------------------------------------------------------
+# Invariants
+# ----------------------------------------------------------------------
+@dataclass
+class InvariantResult:
+    name: str
+    ok: bool
+    detail: str = ""
+
+    def render(self) -> str:
+        mark = "PASS" if self.ok else "FAIL"
+        text = f"[{mark}] {self.name}"
+        if self.detail:
+            text += f": {self.detail}"
+        return text
+
+
+def _verdict_tuple(record: dict) -> tuple:
+    return (
+        record.get("status"),
+        record.get("aipc"),
+        record.get("failure_class"),
+        record.get("retries"),
+    )
+
+
+def _clean_counters(records: Sequence[dict]) -> dict[str, int]:
+    reg = aggregate_records(records)
+    return {
+        name: value
+        for name, value in deterministic_counters(reg).items()
+        if not name.startswith("chaos_")
+    }
+
+
+class ChaosInvariants:
+    """The oracle: after chaos + recovery, the healed ledger must be
+    indistinguishable -- cell for cell, counter for counter -- from an
+    undisturbed serial baseline, except for cells the plan poisoned.
+    Reuses the parallel==serial aggregation discipline (PR 3) as the
+    definition of "indistinguishable"."""
+
+    def __init__(self, plan: ChaosPlan) -> None:
+        self.plan = plan
+
+    def check(
+        self,
+        baseline: dict[str, dict],
+        healed: dict[str, dict],
+        audit: Optional[LedgerAudit] = None,
+        aborted: Optional[str] = None,
+        expect_poison: bool = True,
+    ) -> list[InvariantResult]:
+        results: list[InvariantResult] = []
+        base_keys = set(baseline)
+        healed_keys = set(healed)
+
+        lost = sorted(base_keys - healed_keys)
+        if aborted:
+            results.append(InvariantResult(
+                "no_cell_lost", True,
+                f"skipped: campaign aborted ({aborted})",
+            ))
+        else:
+            results.append(InvariantResult(
+                "no_cell_lost", not lost,
+                f"{len(lost)} baseline cell(s) missing: {lost[:3]}"
+                if lost else f"{len(base_keys)} cell(s) all present",
+            ))
+
+        extra = sorted(healed_keys - base_keys)
+        results.append(InvariantResult(
+            "no_extra_cells", not extra,
+            f"{len(extra)} unexpected cell(s): {extra[:3]}"
+            if extra else "",
+        ))
+
+        if audit is not None:
+            dup_free = audit.clean and audit.superseded == 0
+            results.append(InvariantResult(
+                "no_double_count", dup_free,
+                audit.summary() if not dup_free
+                else f"{audit.records} record(s), one line each",
+            ))
+
+        poisoned = {
+            cell: record for cell, record in healed.items()
+            if record.get("status") == "poisoned"
+        }
+        shared = base_keys & healed_keys
+        mismatched = [
+            cell for cell in sorted(shared - set(poisoned))
+            if _verdict_tuple(baseline[cell])
+            != _verdict_tuple(healed[cell])
+        ]
+        results.append(InvariantResult(
+            "verdicts_match", not mismatched,
+            f"{len(mismatched)} divergent verdict(s): {mismatched[:3]}"
+            if mismatched
+            else f"{len(shared) - len(poisoned)} verdict(s) identical",
+        ))
+
+        poison_ok = True
+        details = []
+        for cell, record in sorted(poisoned.items()):
+            if record.get("failure_class") != "PoisonedCell":
+                poison_ok = False
+                details.append(f"{cell}: wrong class "
+                               f"{record.get('failure_class')}")
+                continue
+            spec_dict = record.get("spec")
+            identity = (CellSpec.from_dict(spec_dict).identity_hash()
+                        if spec_dict else "")
+            if not self.plan.selected("poison", identity):
+                poison_ok = False
+                details.append(f"{cell}: poisoned but never targeted")
+        if expect_poison and not aborted:
+            expected = {
+                cell for cell, record in baseline.items()
+                if record.get("spec") and self.plan.selected(
+                    "poison",
+                    CellSpec.from_dict(record["spec"]).identity_hash(),
+                )
+            }
+            unpoisoned = sorted(expected - set(poisoned))
+            if unpoisoned:
+                poison_ok = False
+                details.append(
+                    f"{len(unpoisoned)} targeted cell(s) not "
+                    f"quarantined: {unpoisoned[:3]}"
+                )
+        results.append(InvariantResult(
+            "poisoned_terminal_and_injected", poison_ok,
+            "; ".join(details) if details
+            else f"{len(poisoned)} poisoned cell(s), all targeted",
+        ))
+
+        compare = sorted(shared - set(poisoned))
+        base_counters = _clean_counters(
+            [baseline[cell] for cell in compare])
+        healed_counters = _clean_counters(
+            [healed[cell] for cell in compare])
+        diff = {
+            name
+            for name in set(base_counters) | set(healed_counters)
+            if base_counters.get(name, 0) != healed_counters.get(name, 0)
+        }
+        results.append(InvariantResult(
+            "aggregation_identical", not diff,
+            f"divergent counters: {sorted(diff)}" if diff
+            else f"{len(base_counters)} counter(s) bit-identical",
+        ))
+        return results
+
+
+# ----------------------------------------------------------------------
+# The campaign runner
+# ----------------------------------------------------------------------
+@dataclass
+class ChaosCampaignReport:
+    """Everything one chaos campaign produced: which injections fired,
+    what recovery did, and whether the invariants held."""
+
+    plan: ChaosPlan
+    passes: int = 0
+    injections: list[dict] = field(default_factory=list)
+    repairs: list[str] = field(default_factory=list)
+    invariants: list[InvariantResult] = field(default_factory=list)
+    baseline_cells: int = 0
+    healed_cells: int = 0
+    aborted: Optional[str] = None
+    audit_summary: str = ""
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry)
+    sweep_report: Optional[SweepReport] = None
+
+    @property
+    def ok(self) -> bool:
+        return all(result.ok for result in self.invariants)
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.plan.seed,
+            "points": list(self.plan.points),
+            "rate": self.plan.rate,
+            "poison_rate": self.plan.poison_rate,
+            "passes": self.passes,
+            "injections": self.injections,
+            "repairs": self.repairs,
+            "invariants": [
+                {"name": r.name, "ok": r.ok, "detail": r.detail}
+                for r in self.invariants
+            ],
+            "baseline_cells": self.baseline_cells,
+            "healed_cells": self.healed_cells,
+            "aborted": self.aborted,
+            "audit": self.audit_summary,
+            "counters": self.registry.counters,
+            "ok": self.ok,
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"chaos campaign: seed {self.plan.seed}, "
+            f"{len(self.plan.points)} point(s) armed, rate "
+            f"{self.plan.rate}",
+            f"passes: {self.passes}; injections fired: "
+            f"{len(self.injections)}",
+        ]
+        by_point: dict[str, int] = {}
+        for event in self.injections:
+            by_point[event["point"]] = by_point.get(event["point"], 0) + 1
+        for point in POINTS:
+            if point in by_point:
+                lines.append(f"  {point:<16}x{by_point[point]}")
+        for repair in self.repairs:
+            lines.append(f"repair: {repair}")
+        if self.aborted:
+            lines.append(f"ABORTED: {self.aborted}")
+        lines.append(f"ledger: {self.audit_summary}")
+        lines.append("invariants:")
+        for result in self.invariants:
+            lines.append(f"  {result.render()}")
+        lines.append("VERDICT: " + ("all invariants held"
+                                    if self.ok else "INVARIANT VIOLATED"))
+        return "\n".join(lines)
+
+
+def run_chaos_campaign(
+    designs: Sequence,
+    names: Sequence[str],
+    *,
+    plan: ChaosPlan,
+    workdir,
+    scale=None,
+    jobs: int = 2,
+    isolation: str = "process",
+    timeout_s: float = 30.0,
+    max_passes: int = 10,
+    failure_budget: Optional[float] = None,
+    progress=None,
+) -> ChaosCampaignReport:
+    """Run one seeded chaos campaign end to end.
+
+    Phase 1 runs the undisturbed serial baseline (same supervisor
+    policy, no chaos) -- the oracle.  Phase 2 loops the chaos sweep
+    with ``resume=True``: each pass either completes, dies to an
+    injected driver crash, or aborts on the failure budget; between
+    passes the ledger is verified and repaired.  Because the
+    controller's one-shot state spans passes, the loop converges
+    within the injection supply.  Phase 3 compacts the ledger and runs
+    :class:`ChaosInvariants` against the baseline.
+
+    ``threaded`` sweeps are deliberately not supported here: a
+    poisoned cell retires its lane, which would orphan the lane's
+    later thread counts and (correctly) trip ``no_cell_lost``.  The
+    campaign therefore runs every ``(design, workload)`` as a
+    single-cell lane.
+    """
+    from ..workloads.base import Scale
+
+    if scale is None:
+        scale = Scale.TINY
+    workdir = Path(workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+    baseline_path = workdir / "baseline.jsonl"
+    chaos_path = workdir / "chaos.jsonl"
+    policy = dict(timeout_s=timeout_s, isolation=isolation)
+
+    _, baseline_report = design_space_sweep(
+        designs, names, scale, threaded=False,
+        ledger_path=baseline_path,
+        supervisor=RunSupervisor(**policy),
+        jobs=1, progress=progress,
+    )
+    baseline = Ledger(baseline_path).load()
+    expected = set(baseline)
+
+    controller = plan.controller()
+    report = ChaosCampaignReport(plan=plan)
+    report.baseline_cells = len(baseline)
+    last_sweep: Optional[SweepReport] = None
+    while report.passes < max_passes:
+        report.passes += 1
+        try:
+            _, sweep_report = design_space_sweep(
+                designs, names, scale, threaded=False,
+                ledger_path=chaos_path, resume=True,
+                supervisor=RunSupervisor(chaos=plan, **policy),
+                jobs=jobs, chaos=controller,
+                failure_budget=failure_budget, progress=progress,
+            )
+            last_sweep = sweep_report
+        except ChaosDriverCrash:
+            sweep_report = None  # driver "died"; resume next pass
+        if sweep_report is not None and sweep_report.aborted:
+            report.aborted = sweep_report.aborted
+            break
+        ledger = Ledger(chaos_path)
+        audit = ledger.verify()
+        if not audit.clean:
+            maintenance = ledger.repair()
+            report.repairs.append(maintenance.summary())
+            controller.registry.counter("ledger_repairs").inc()
+            controller.registry.counter("ledger_lines_quarantined").inc(
+                maintenance.quarantined
+            )
+            continue  # resume refills the quarantined cells
+        if sweep_report is not None and \
+                expected <= set(ledger.load()):
+            break
+
+    final = Ledger(chaos_path)
+    compaction = final.compact()
+    if compaction.rewritten:
+        controller.registry.counter("ledger_compactions").inc()
+        controller.registry.counter("ledger_lines_quarantined").inc(
+            compaction.quarantined
+        )
+        report.repairs.append(compaction.summary())
+    audit = final.verify()
+    healed = final.load()
+    report.healed_cells = len(healed)
+    report.audit_summary = audit.summary()
+    # Worker-side injections (sabotage, result delays) fire inside
+    # worker processes, out of the controller's sight -- but selection
+    # is deterministic, so reconstruct them from the plan.  Sabotage
+    # needs process isolation; result delays need scheduler workers.
+    for record in baseline.values():
+        spec_dict = record.get("spec")
+        if not spec_dict or record.get("attempts", 1) == 0:
+            continue
+        identity = CellSpec.from_dict(spec_dict).identity_hash()
+        if isolation == "process":
+            sabotage = plan.sabotage_for(
+                CellSpec.from_dict(spec_dict), attempt=1)
+            if sabotage is not None:
+                controller._record(sabotage.point, identity)
+        if jobs > 1 and plan.selected("result_delay", identity):
+            controller._record("result_delay", identity)
+    report.injections = list(controller.events)
+    report.registry = controller.registry
+    report.sweep_report = last_sweep
+    report.invariants = ChaosInvariants(plan).check(
+        baseline, healed, audit=audit, aborted=report.aborted,
+        expect_poison=(isolation == "process"),
+    )
+    return report
+
+
+def plan_for_seed(seed: int, **overrides) -> ChaosPlan:
+    """Convenience constructor used by the CLI and CI: a full-catalogue
+    plan for one seed, with field overrides."""
+    return replace(ChaosPlan(seed=seed), **overrides) \
+        if overrides else ChaosPlan(seed=seed)
+
+
+def dump_report(report: ChaosCampaignReport, path) -> None:
+    """Write the campaign report as JSON (the CI artifact)."""
+    Path(path).write_text(
+        json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n"
+    )

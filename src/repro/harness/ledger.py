@@ -1,4 +1,4 @@
-"""Append-only JSONL checkpointing for sweeps.
+"""Append-only JSONL checkpointing for sweeps, with self-healing.
 
 Every completed cell -- success or classified failure -- becomes one
 JSON line keyed by the cell's content hash.  Appends are flushed and
@@ -7,25 +7,149 @@ written; :meth:`Ledger.load` tolerates a truncated final line for
 exactly that reason.  Resuming a sweep is then just "skip every cell
 whose hash already has a record".
 
+Integrity: every appended record is *sealed* -- the single writer
+assigns a monotonic ``seq`` number, stamps the schema ``version``,
+and attaches a CRC32 ``crc`` over the record's canonical JSON.  A
+record whose bytes rot (bad disk, torn write landing mid-file, a
+stray editor) fails its checksum and is skipped by :meth:`load` and
+quarantined by :meth:`repair` instead of being silently trusted.
+``seq`` is what orders records: the wall-clock ``ts`` field is kept
+for humans only (see :meth:`record_for`).
+
+Maintenance: :meth:`verify` audits the file line by line,
+:meth:`repair` rewrites it with corrupt lines moved to a
+``.quarantine`` sidecar (reason attached), and :meth:`compact`
+additionally collapses superseded records (same hash, lower ``seq``).
+Both rewrites go through an atomic temp-file rename, so a crash
+mid-maintenance leaves either the old file or the new one -- never a
+half-written ledger.
+
 Concurrency contract: the ledger has exactly ONE writer -- the sweep
 driver.  Parallel workers (see :mod:`repro.harness.scheduler`) never
 touch the file; they ship verdicts back over a queue and the driver
 appends them, batched through :meth:`Ledger.append_many` so a drain of
-N results costs one write + one fsync instead of N.
+N results costs one write + one fsync instead of N.  An append whose
+``fsync`` fails (disk full, dying device) is retried once by
+re-appending the whole batch: that is safe because :meth:`load`
+deduplicates by hash and :meth:`compact` collapses the duplicates, so
+at-least-once delivery is idempotent.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import tempfile
 import time
+import zlib
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Optional
 
 from .spec import CellSpec
 
 #: Record schema version, bumped on incompatible changes.
-LEDGER_VERSION = 1
+#: v1: bare records; v2: sealed records (``seq`` + ``crc``).
+LEDGER_VERSION = 2
+
+
+def _canonical(record: dict) -> bytes:
+    """The canonical byte serialisation a record's CRC covers: every
+    field except ``crc`` itself, sorted keys, tight separators."""
+    body = {k: v for k, v in record.items() if k != "crc"}
+    return json.dumps(
+        body, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+def record_checksum(record: dict) -> int:
+    """CRC32 over the record's canonical JSON (non-ASCII workload
+    names and NaN/Inf values included -- whatever ``json`` emits is
+    what the checksum covers)."""
+    return zlib.crc32(_canonical(record)) & 0xFFFFFFFF
+
+
+def checksum_ok(record: dict) -> bool:
+    """Whether a parsed record's ``crc`` matches its content.
+    Records without a ``crc`` (schema v1) are accepted as unverified
+    -- old ledgers stay readable."""
+    crc = record.get("crc")
+    if crc is None:
+        return True
+    return crc == record_checksum(record)
+
+
+@dataclass
+class LineIssue:
+    """One problematic ledger line found by :meth:`Ledger.verify`."""
+
+    line_no: int  # 1-based
+    reason: str  # "torn" | "corrupt_json" | "crc_mismatch" | "no_hash"
+    preview: str  # first bytes of the offending line
+
+    def render(self) -> str:
+        return f"line {self.line_no}: {self.reason} ({self.preview!r})"
+
+
+@dataclass
+class LedgerAudit:
+    """The verdict of :meth:`Ledger.verify` over one ledger file."""
+
+    lines: int = 0  # non-empty lines seen
+    ok: int = 0  # sealed records whose checksum verified
+    legacy: int = 0  # v1 records without a checksum (accepted)
+    torn: int = 0  # truncated final line (killed mid-append)
+    corrupt_json: int = 0  # unparseable line with a newline
+    crc_mismatch: int = 0  # parseable record failing its checksum
+    no_hash: int = 0  # parseable record without a cell hash
+    records: int = 0  # distinct cell hashes among good lines
+    superseded: int = 0  # good lines shadowed by a later record
+    issues: list[LineIssue] = field(default_factory=list)
+
+    @property
+    def bad(self) -> int:
+        return (self.torn + self.corrupt_json + self.crc_mismatch
+                + self.no_hash)
+
+    @property
+    def clean(self) -> bool:
+        return self.bad == 0
+
+    def summary(self) -> str:
+        text = (
+            f"{self.lines} line(s): {self.ok} ok, {self.legacy} "
+            f"unchecksummed, {self.superseded} superseded, "
+            f"{self.records} distinct cell(s)"
+        )
+        if self.bad:
+            text += (
+                f"; {self.bad} BAD ({self.torn} torn, "
+                f"{self.corrupt_json} corrupt, {self.crc_mismatch} "
+                f"checksum mismatch, {self.no_hash} hashless)"
+            )
+        return text
+
+
+@dataclass
+class MaintenanceReport:
+    """What :meth:`Ledger.repair` / :meth:`Ledger.compact` did."""
+
+    action: str  # "repair" | "compact"
+    kept: int = 0  # lines surviving the rewrite
+    quarantined: int = 0  # bad lines moved to the sidecar
+    collapsed: int = 0  # superseded records dropped (compact only)
+    rewritten: bool = False  # False when the file was already clean
+    sidecar: Optional[str] = None  # quarantine path when lines moved
+
+    def summary(self) -> str:
+        text = f"{self.action}: kept {self.kept} line(s)"
+        if self.quarantined:
+            text += f", quarantined {self.quarantined} -> {self.sidecar}"
+        if self.collapsed:
+            text += f", collapsed {self.collapsed} superseded"
+        if not self.rewritten:
+            text += " (ledger already clean; file untouched)"
+        return text
 
 
 class Ledger:
@@ -33,23 +157,43 @@ class Ledger:
 
     def __init__(self, path) -> None:
         self.path = Path(path)
-        #: Corrupt (torn / non-JSON) lines seen by the last ``load()``
-        #: or ``__len__`` scan; a healthy ledger has zero.
+        #: Torn (truncated / non-JSON) lines seen by the last
+        #: ``load()`` or ``__len__`` scan; a healthy ledger has zero.
         self.torn_lines = 0
+        #: Parseable records that failed their checksum on the last
+        #: ``load()`` -- corruption, not a torn write.
+        self.corrupt_lines = 0
+        #: Append batches re-written after an ``OSError`` (fsync
+        #: failure / disk full); the retry is idempotent by hash.
+        self.append_retries = 0
+        #: Optional chaos controller (``repro.harness.chaos``): when
+        #: set, appends pass through its mangle/fsync gates.  ``None``
+        #: costs one attribute test per batch.
+        self.chaos = None
         # Incremental length accounting: byte offset of the last
-        # complete line scanned, and the distinct hashes seen so far.
+        # complete line scanned, the file's identity (inode), and the
+        # distinct hashes seen so far.
         self._scanned_bytes = 0
+        self._scanned_ino: Optional[int] = None
         self._hashes: set[str] = set()
+        # Monotonic sequence assignment (single-writer); initialised
+        # from the file's max seq on first append or load.
+        self._next_seq: Optional[int] = None
 
     # ------------------------------------------------------------------
     def load(self) -> dict[str, dict]:
-        """All records keyed by cell hash; the last record for a hash
-        wins, and a torn trailing line (killed mid-write) is skipped.
-        The number of skipped lines is left on :attr:`torn_lines`."""
+        """All records keyed by cell hash; the record with the highest
+        ``seq`` for a hash wins (file order for unsealed v1 records),
+        a torn trailing line (killed mid-write) is skipped, and a
+        record failing its checksum is skipped as corrupt.  Counts are
+        left on :attr:`torn_lines` / :attr:`corrupt_lines`."""
         records: dict[str, dict] = {}
         torn = 0
+        corrupt = 0
+        max_seq = -1
         if not self.path.exists():
             self.torn_lines = 0
+            self.corrupt_lines = 0
             return records
         with self.path.open("r", encoding="utf-8") as fh:
             for line in fh:
@@ -61,32 +205,108 @@ class Ledger:
                 except json.JSONDecodeError:
                     torn += 1
                     continue  # torn write at the kill point
+                if not isinstance(record, dict):
+                    torn += 1
+                    continue
+                if not checksum_ok(record):
+                    corrupt += 1
+                    continue
                 cell = record.get("hash")
-                if cell:
+                if not cell:
+                    continue
+                seq = record.get("seq")
+                if seq is not None and seq > max_seq:
+                    max_seq = seq
+                previous = records.get(cell)
+                if previous is None:
+                    records[cell] = record
+                    continue
+                # Highest seq wins; unsealed records fall back to
+                # file order (later line wins), matching v1 behavior.
+                prev_seq = previous.get("seq")
+                if seq is None or prev_seq is None or seq >= prev_seq:
                     records[cell] = record
         self.torn_lines = torn
+        self.corrupt_lines = corrupt
+        if self._next_seq is None or max_seq + 1 > self._next_seq:
+            self._next_seq = max_seq + 1
         return records
+
+    # ------------------------------------------------------------------
+    def _ensure_seq(self) -> None:
+        if self._next_seq is not None:
+            return
+        max_seq = -1
+        if self.path.exists():
+            with self.path.open("r", encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue
+                    if isinstance(record, dict):
+                        seq = record.get("seq")
+                        if seq is not None and seq > max_seq:
+                            max_seq = seq
+        self._next_seq = max_seq + 1
+
+    def _seal(self, record: dict) -> None:
+        """Assign the next monotonic ``seq``, stamp the schema
+        version, and attach the checksum.  Re-sealing an already
+        sealed record (the idempotent fsync-failure retry path) keeps
+        its ``seq`` so the duplicate collapses cleanly."""
+        if "seq" not in record:
+            assert self._next_seq is not None
+            record["seq"] = self._next_seq
+            self._next_seq += 1
+        record["version"] = LEDGER_VERSION
+        record["crc"] = record_checksum(record)
 
     def append(self, record: dict) -> None:
         self.append_many((record,))
 
     def append_many(self, records: Iterable[dict]) -> None:
-        """Append a batch of records with ONE write + flush + fsync.
+        """Append a batch of sealed records with ONE write + flush +
+        fsync.
 
         The parallel driver's result-drain loop lands several verdicts
         per wakeup; batching them keeps the fsync cost per drained
         batch constant while every line is still durable before the
-        call returns.
+        call returns.  An ``OSError`` anywhere in the write/fsync path
+        (disk full, failing device) is retried once by re-appending
+        the whole batch -- safe because resume deduplicates by hash
+        and ``compact`` collapses the duplicate lines.
         """
-        lines = "".join(
-            json.dumps(record, sort_keys=True) + "\n" for record in records
-        )
-        if not lines:
+        records = list(records)
+        if not records:
             return
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._ensure_seq()
+        for record in records:
+            self._seal(record)
+        try:
+            self._write_batch(records)
+        except OSError:
+            self.append_retries += 1
+            self._write_batch(records)
+
+    def _write_batch(self, records: list[dict]) -> None:
+        pairs = [
+            (record, json.dumps(record, sort_keys=True) + "\n")
+            for record in records
+        ]
+        if self.chaos is not None:
+            lines = self.chaos.mangle_lines(pairs)
+        else:
+            lines = [line for _, line in pairs]
         with self.path.open("a", encoding="utf-8") as fh:
-            fh.write(lines)
+            fh.write("".join(lines))
             fh.flush()
+            if self.chaos is not None:
+                self.chaos.fsync_gate()  # may raise OSError (chaos)
             os.fsync(fh.fileno())
 
     def __len__(self) -> int:
@@ -96,18 +316,27 @@ class Ledger:
         parsed (a progress bar polling ``len(ledger)`` after every cell
         used to re-read the whole campaign file each time, an O(n^2)
         scan overall).  A trailing partial line is not counted until a
-        later call sees its terminating newline.
+        later call sees its terminating newline.  The scan restarts
+        from byte zero when the file shrank *or* its inode changed --
+        ``repair()``/``compact()`` replace the file via rename, which
+        can leave the size unchanged while the content differs.
         """
         try:
-            size = self.path.stat().st_size
+            st = self.path.stat()
         except OSError:
             self._scanned_bytes = 0
+            self._scanned_ino = None
             self._hashes.clear()
             return 0
-        if size < self._scanned_bytes:  # truncated/replaced: rescan
+        replaced = (
+            self._scanned_ino is not None
+            and st.st_ino != self._scanned_ino
+        )
+        if st.st_size < self._scanned_bytes or replaced:
             self._scanned_bytes = 0
             self._hashes.clear()
-        if size == self._scanned_bytes:
+        self._scanned_ino = st.st_ino
+        if st.st_size == self._scanned_bytes:
             return len(self._hashes)
         with self.path.open("rb") as fh:
             fh.seek(self._scanned_bytes)
@@ -122,17 +351,192 @@ class Ledger:
             except json.JSONDecodeError:
                 self.torn_lines += 1
                 continue
-            cell = record.get("hash")
+            cell = record.get("hash") if isinstance(record, dict) \
+                else None
             if cell:
                 self._hashes.add(cell)
         self._scanned_bytes += complete
         return len(self._hashes)
 
     # ------------------------------------------------------------------
+    # Integrity: verify / repair / compact
+    # ------------------------------------------------------------------
+    def verify(self) -> LedgerAudit:
+        """Audit every line: parseability, checksum, hash presence,
+        and supersession.  Pure read -- the file is never modified."""
+        audit = LedgerAudit()
+        if not self.path.exists():
+            return audit
+        latest: dict[str, tuple] = {}  # hash -> (seq, line_no)
+        data = self.path.read_bytes()
+        raw_lines = data.split(b"\n")
+        trailing_newline = data.endswith(b"\n")
+        last_index = len(raw_lines) - 1
+        for index, raw in enumerate(raw_lines):
+            if not raw.strip():
+                continue
+            line_no = index + 1
+            audit.lines += 1
+            at_eof_unterminated = (
+                index == last_index and not trailing_newline
+            )
+            text = raw.decode("utf-8", errors="replace").strip()
+            preview = text[:48]
+            try:
+                record = json.loads(text)
+                if not isinstance(record, dict):
+                    raise json.JSONDecodeError("not an object", text, 0)
+            except json.JSONDecodeError:
+                if at_eof_unterminated:
+                    audit.torn += 1
+                    audit.issues.append(
+                        LineIssue(line_no, "torn", preview))
+                else:
+                    audit.corrupt_json += 1
+                    audit.issues.append(
+                        LineIssue(line_no, "corrupt_json", preview))
+                continue
+            if not checksum_ok(record):
+                audit.crc_mismatch += 1
+                audit.issues.append(
+                    LineIssue(line_no, "crc_mismatch", preview))
+                continue
+            if "crc" in record:
+                audit.ok += 1
+            else:
+                audit.legacy += 1
+            cell = record.get("hash")
+            if not cell:
+                audit.no_hash += 1
+                audit.issues.append(LineIssue(line_no, "no_hash",
+                                              preview))
+                continue
+            seq = record.get("seq")
+            key = (seq if seq is not None else -1, line_no)
+            previous = latest.get(cell)
+            if previous is None or key >= previous:
+                latest[cell] = key
+        audit.records = len(latest)
+        good = audit.ok + audit.legacy - audit.no_hash
+        audit.superseded = max(0, good - audit.records)
+        return audit
+
+    def repair(self) -> MaintenanceReport:
+        """Quarantine every bad line (torn, corrupt, failed checksum)
+        into ``<path>.quarantine`` with its reason, and rewrite the
+        ledger with only verifiable lines -- atomically, via temp-file
+        rename.  A clean ledger is left untouched."""
+        return self._rewrite(collapse=False)
+
+    def compact(self) -> MaintenanceReport:
+        """Repair plus collapse: superseded records (same cell hash,
+        lower ``seq``; file order for unsealed records) are dropped,
+        leaving exactly one line per cell.  Crash-consistent: the new
+        file is written beside the old one, fsynced, and renamed over
+        it in one atomic step."""
+        return self._rewrite(collapse=True)
+
+    def _rewrite(self, collapse: bool) -> MaintenanceReport:
+        action = "compact" if collapse else "repair"
+        report = MaintenanceReport(action=action)
+        audit = self.verify()
+        if audit.clean and not (collapse and audit.superseded):
+            report.kept = audit.lines
+            return report
+        bad_lines = {issue.line_no for issue in audit.issues}
+        reasons = {issue.line_no: issue.reason for issue in audit.issues}
+        data = self.path.read_bytes()
+        raw_lines = data.split(b"\n")
+        # First pass: classify lines, find the winning line per hash.
+        good: list[tuple[int, str, Optional[str], tuple]] = []
+        winners: dict[str, tuple] = {}
+        quarantine: list[tuple[int, str, str]] = []
+        for index, raw in enumerate(raw_lines):
+            if not raw.strip():
+                continue
+            line_no = index + 1
+            text = raw.decode("utf-8", errors="replace").strip()
+            if line_no in bad_lines:
+                quarantine.append((line_no, reasons[line_no], text))
+                continue
+            record = json.loads(text)
+            cell = record.get("hash")
+            seq = record.get("seq")
+            key = (seq if seq is not None else -1, line_no)
+            good.append((line_no, text, cell, key))
+            if cell:
+                previous = winners.get(cell)
+                if previous is None or key >= previous:
+                    winners[cell] = key
+        kept: list[str] = []
+        for line_no, text, cell, key in good:
+            if collapse and cell and winners[cell] != key:
+                report.collapsed += 1
+                continue
+            kept.append(text)
+        # Quarantine sidecar first (so a crash between the two writes
+        # can only duplicate evidence, never lose it), then the
+        # atomic ledger rewrite.
+        if quarantine:
+            sidecar = self.path.with_suffix(
+                self.path.suffix + ".quarantine"
+            )
+            with sidecar.open("a", encoding="utf-8") as fh:
+                for line_no, reason, text in quarantine:
+                    fh.write(json.dumps({
+                        "reason": reason,
+                        "line_no": line_no,
+                        "quarantined_ts": time.time(),
+                        "line": text,
+                    }, sort_keys=True) + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            report.sidecar = str(sidecar)
+            report.quarantined = len(quarantine)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.path.parent, prefix=self.path.name + ".",
+            suffix=".tmp",
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                for text in kept:
+                    fh.write(text + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp_name, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        dir_fd = os.open(self.path.parent, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+        report.kept = len(kept)
+        report.rewritten = True
+        # The file was replaced: restart incremental accounting.
+        self._scanned_bytes = 0
+        self._scanned_ino = None
+        self._hashes.clear()
+        return report
+
+    # ------------------------------------------------------------------
     @staticmethod
     def record_for(spec: CellSpec, result) -> dict:
         """Serialise a supervisor :class:`~repro.harness.supervisor
-        .CellResult` into one ledger record."""
+        .CellResult` into one ledger record.
+
+        Clock discipline: ``ts`` is wall-clock epoch seconds
+        (``time.time()``) recorded for humans reading the file -- it
+        can jump under NTP steps and must never order records (that is
+        what the append-assigned ``seq`` is for).  ``wall_s`` is the
+        cell's duration measured by the supervisor on the *monotonic*
+        clock, immune to wall-clock adjustments; the two deliberately
+        come from different clocks and cannot be compared.
+        """
         record = {
             "version": LEDGER_VERSION,
             "hash": spec.cell_hash(),
@@ -154,6 +558,10 @@ class Ledger:
             record["failure_detail"] = result.failure_detail
             if result.diagnostics is not None:
                 record["diagnostics"] = result.diagnostics
+        if getattr(result, "injected", 0):
+            # Chaos-injected attempts, excluded from ``retries`` so a
+            # chaos campaign aggregates bit-identically to a clean one.
+            record["chaos_injected"] = result.injected
         # Every record carries a metrics block (see repro.obs.metrics):
         # successful cells get theirs from the outcome payload; failed
         # cells still record the wall time they burned, so campaign
@@ -188,12 +596,17 @@ class Ledger:
         }
 
 
-def summarize(records: dict[str, dict], torn_lines: int = 0) -> dict[str, int]:
+def summarize(
+    records: dict[str, dict],
+    torn_lines: int = 0,
+    corrupt_lines: int = 0,
+) -> dict[str, int]:
     """Status counts over a loaded ledger (for reports and tests).
 
-    ``torn_lines`` (as counted by :meth:`Ledger.load`) is surfaced
-    under its own key when non-zero, so resume diagnostics can report
-    corruption instead of silently dropping it.
+    ``torn_lines`` / ``corrupt_lines`` (as counted by
+    :meth:`Ledger.load`) are surfaced under their own keys when
+    non-zero, so resume diagnostics can report corruption instead of
+    silently dropping it.
     """
     counts: dict[str, int] = {}
     for record in records.values():
@@ -201,6 +614,8 @@ def summarize(records: dict[str, dict], torn_lines: int = 0) -> dict[str, int]:
         counts[status] = counts.get(status, 0) + 1
     if torn_lines:
         counts["torn_lines"] = torn_lines
+    if corrupt_lines:
+        counts["corrupt_lines"] = corrupt_lines
     return counts
 
 

@@ -36,12 +36,13 @@ from __future__ import annotations
 import multiprocessing
 import os
 import queue
+import random
 import time
 from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Iterable, Optional
 
-from ..sim.failures import WorkerCrash
+from ..sim.failures import PoisonedCell, WorkerCrash
 from .ledger import Ledger
 from .spec import CellSpec
 from .supervisor import CellResult, RunSupervisor
@@ -51,6 +52,112 @@ from .supervisor import CellResult, RunSupervisor
 #: checking whether its driver is still alive.
 POLL_S = 0.2
 _ORPHAN_POLL_S = 2.0
+
+#: Consecutive worker crashes on one cell before the circuit breaker
+#: quarantines it as ``poisoned``.
+BREAKER_THRESHOLD = 3
+
+#: The campaign failure-rate budget only engages after this many
+#: resolved cells -- one early failure out of two cells is not a 50%
+#: failure rate worth aborting over.
+MIN_BUDGET_CELLS = 5
+
+
+class CircuitBreaker:
+    """Per-cell crash-streak accounting (driver-side).
+
+    A cell whose worker crashes is *retried*, not recorded: crash
+    verdicts never reach the ledger, so a resumed campaign re-runs
+    them instead of trusting a possibly-environmental failure.  But a
+    cell that kills its worker ``threshold`` times in a row is
+    deterministic poison -- further retries only burn wall clock -- so
+    the breaker trips and the cell is recorded terminally as
+    ``poisoned``.  Keys are :meth:`CellSpec.identity_hash`, so a crash
+    streak follows the cell across budget escalations.
+    """
+
+    def __init__(self, threshold: int = BREAKER_THRESHOLD) -> None:
+        self.threshold = threshold
+        self.streaks: dict[str, int] = {}
+        self.trips = 0
+        self.crash_retries = 0
+
+    def record_crash(self, identity: str) -> bool:
+        """Count one crash; True when the streak trips the breaker."""
+        streak = self.streaks.get(identity, 0) + 1
+        if streak >= self.threshold:
+            self.streaks.pop(identity, None)
+            self.trips += 1
+            return True
+        self.streaks[identity] = streak
+        self.crash_retries += 1
+        return False
+
+    def reset(self, identity: str) -> None:
+        self.streaks.pop(identity, None)
+
+
+class RespawnBackoff:
+    """Decorrelated-jitter exponential backoff for worker respawn.
+
+    ``sleep()`` waits ``uniform(base, prev * 3)`` capped at ``cap`` --
+    the decorrelated-jitter scheme, which avoids both the thundering
+    herd of fixed exponential backoff and the lockstep of full jitter.
+    Seeded, so chaos runs back off identically run to run.  ``reset()``
+    on any successful result drain returns to the base delay.
+    """
+
+    def __init__(self, seed: int = 0, base: float = 0.05,
+                 cap: float = 1.0) -> None:
+        self.base = base
+        self.cap = cap
+        self._rng = random.Random(seed)
+        self._prev = base
+        self.total_s = 0.0
+
+    def next_delay(self) -> float:
+        self._prev = min(self.cap,
+                         self._rng.uniform(self.base, self._prev * 3))
+        return self._prev
+
+    def sleep(self) -> None:
+        delay = self.next_delay()
+        self.total_s += delay
+        time.sleep(delay)
+
+    def reset(self) -> None:
+        self._prev = self.base
+
+
+def _poisoned_result(spec: CellSpec, threshold: int,
+                     detail: str) -> CellResult:
+    return CellResult(
+        spec=spec, status="poisoned", attempts=threshold, retries=0,
+        failure_class=PoisonedCell.__name__,
+        failure_detail=(
+            f"{spec.describe()}: circuit breaker opened after "
+            f"{threshold} consecutive worker crashes"
+            + (f" (last: {detail})" if detail else "")
+        ),
+    )
+
+
+def _over_budget(report, budget: Optional[float]) -> Optional[str]:
+    """The abort message when the campaign failure rate exceeds its
+    budget, else ``None``."""
+    if budget is None:
+        return None
+    poisoned = getattr(report, "poisoned", 0)
+    resolved = (report.completed + report.failed + report.invalid
+                + poisoned)
+    bad = report.failed + poisoned
+    if resolved >= MIN_BUDGET_CELLS and bad > budget * resolved:
+        return (
+            f"failure rate {bad}/{resolved} "
+            f"({bad / resolved:.0%}) exceeds budget {budget:.0%}; "
+            f"aborting with a partial report"
+        )
+    return None
 
 
 def static_rejection(spec: CellSpec) -> Optional[list]:
@@ -130,6 +237,12 @@ def _worker_main(worker_id: int, inbox, results, supervisor) -> None:
             record = Ledger.record_for(spec, _failed_result(
                 spec, type(exc).__name__, f"{type(exc).__name__}: {exc}",
             ))
+        plan = getattr(supervisor, "chaos", None)
+        if plan is not None and plan.selected(
+                "result_delay", spec.identity_hash()):
+            # Late verdict delivery: the driver must tolerate results
+            # arriving long after dispatch (and after reap checks).
+            time.sleep(plan.delay_s)
         results.put((worker_id, record))
 
 
@@ -146,7 +259,8 @@ class _ParallelDriver:
     """Owns the worker pool and all mutable scheduling state."""
 
     def __init__(self, lanes, jobs, supervisor, ledger, done, report,
-                 progress, prevalidate, mp_context, poll_s):
+                 progress, prevalidate, mp_context, poll_s,
+                 chaos=None, failure_budget=None):
         self.jobs = jobs
         self.supervisor = supervisor
         self.ledger = ledger
@@ -155,6 +269,12 @@ class _ParallelDriver:
         self.progress = progress
         self.prevalidate = prevalidate
         self.poll_s = poll_s
+        self.chaos = chaos  # driver-side ChaosController (or None)
+        self.failure_budget = failure_budget
+        self.aborted = False
+        self.breaker = CircuitBreaker()
+        seed = chaos.plan.seed if chaos is not None else 0
+        self.backoff = RespawnBackoff(seed)
         if mp_context is None:
             mp_context = (
                 "fork"
@@ -255,7 +375,7 @@ class _ParallelDriver:
         """Keep every idle worker fed while ready lanes remain."""
         if len(self.ready) > self._max_ready:
             self._max_ready = len(self.ready)
-        while self.idle and self.ready:
+        while self.idle and self.ready and not self.aborted:
             lane = self.ready.popleft()
             dispatch = self._next_dispatch(lane)
             if dispatch is None:
@@ -267,6 +387,11 @@ class _ParallelDriver:
             self.workers[wid].inbox.put(spec)
             self._dispatched += 1
             self._assigned_at[wid] = time.monotonic()
+            if self.chaos is not None and \
+                    self.chaos.kill_worker(spec.identity_hash()):
+                # Injected scheduler-worker death right after dispatch;
+                # _reap must turn this into a crash retry, not a hang.
+                self.workers[wid].process.kill()
         if len(self.inflight) > self._max_inflight:
             self._max_inflight = len(self.inflight)
 
@@ -287,8 +412,11 @@ class _ParallelDriver:
         """Feed one verdict into its lane (and any parked duplicates)."""
         lane, spec = self.inflight.pop(cell)
         self.done[cell] = record
-        if record.get("status") == "ok":
+        status = record.get("status")
+        if status == "ok":
             self.report.completed += 1
+        elif status == "poisoned":
+            self.report.poisoned += 1
         else:
             self.report.failed += 1
         self.report.retried += record.get("retries", 0)
@@ -304,10 +432,38 @@ class _ParallelDriver:
             parked.advance(record)
             if not parked.exhausted:
                 self.ready.append(parked)
+        abort = _over_budget(self.report, self.failure_budget)
+        if abort is not None and not self.aborted:
+            self.aborted = True
+            self.report.aborted = abort
+            self.ready.clear()  # in-flight cells drain, nothing new
+
+    def _breaker_verdict(self, cell: str,
+                         record: dict) -> tuple[dict, bool]:
+        """Route one worker verdict through the circuit breaker.
+
+        Returns ``(record, retry)``.  A ``WorkerCrash`` below the
+        breaker threshold is *intercepted*: the caller must requeue
+        the cell instead of recording it -- crash verdicts never reach
+        the ledger, so a resumed campaign re-runs them (the crash may
+        have been environmental).  At the threshold the verdict is
+        rewritten to a terminal ``poisoned`` record.
+        """
+        lane, spec = self.inflight[cell]
+        if (record.get("status") == "ok"
+                or record.get("failure_class") != WorkerCrash.__name__):
+            self.breaker.reset(spec.identity_hash())
+            return record, False
+        if self.breaker.record_crash(spec.identity_hash()):
+            poisoned = Ledger.record_for(spec, _poisoned_result(
+                spec, self.breaker.threshold,
+                record.get("failure_detail") or "",
+            ))
+            return poisoned, False
+        return record, True
 
     def _commit(self, batch: list[tuple[int, dict]]) -> None:
-        if self.ledger is not None:
-            self.ledger.append_many([record for _, record in batch])
+        staged: list[tuple[str, dict, bool]] = []
         for wid, record in batch:
             cell = self.assigned.pop(wid, None)
             assigned_at = self._assigned_at.pop(wid, None)
@@ -317,11 +473,28 @@ class _ParallelDriver:
                 self.idle.append(wid)
             if cell is None or cell not in self.inflight:
                 continue  # late result from an already-reaped worker
-            self._resolve(cell, record)
+            record, retry = self._breaker_verdict(cell, record)
+            staged.append((cell, record, retry))
+        durable = [record for _, record, retry in staged if not retry]
+        if durable and self.ledger is not None:
+            self.ledger.append_many(durable)
+        self.backoff.reset()
+        for cell, record, retry in staged:
+            if retry:
+                lane, _ = self.inflight.pop(cell)
+                self.ready.append(lane)  # same cell, fresh dispatch
+            else:
+                self._resolve(cell, record)
+        if durable and self.chaos is not None:
+            # Records above are durable; everything in driver memory
+            # is what an injected crash here loses -- resume recovers.
+            self.chaos.driver_batch_gate()
 
     def _reap(self) -> None:
-        """Detect dead workers; their in-flight cell becomes a
-        ``WorkerCrash`` verdict and the pool is refilled."""
+        """Detect dead workers; their in-flight cell goes through the
+        circuit breaker (crash retry, or ``poisoned`` at the
+        threshold) and the pool is refilled after a jittered
+        backoff."""
         dead = [wid for wid, worker in self.workers.items()
                 if not worker.process.is_alive()]
         if not dead:
@@ -345,16 +518,24 @@ class _ParallelDriver:
             if assigned_at is not None:
                 self._busy_s += time.monotonic() - assigned_at
             if cell is not None and cell in self.inflight:
-                _, spec = self.inflight[cell]
+                lane, spec = self.inflight[cell]
                 record = Ledger.record_for(spec, _failed_result(
                     spec, WorkerCrash.__name__,
                     f"{spec.describe()}: scheduler worker {wid} (pid "
                     f"{worker.process.pid}) died with exit code "
                     f"{worker.process.exitcode}",
                 ))
-                if self.ledger is not None:
-                    self.ledger.append(record)
-                self._resolve(cell, record)
+                record, retry = self._breaker_verdict(cell, record)
+                if retry:
+                    self.inflight.pop(cell)
+                    self.ready.append(lane)
+                else:
+                    if self.ledger is not None:
+                        self.ledger.append(record)
+                    self._resolve(cell, record)
+            # Decorrelated-jitter pause before respawning: a crash
+            # loop (bad node, OOM storm) must not spin the driver.
+            self.backoff.sleep()
             self._spawn()
         self._pump()
 
@@ -377,6 +558,10 @@ class _ParallelDriver:
             if capacity > 0 else 0.0,
             "max_ready_lanes": self._max_ready,
             "max_inflight": self._max_inflight,
+            "worker_respawns": max(0, self._spawned - self.jobs),
+            "worker_crash_retries": self.breaker.crash_retries,
+            "breaker_trips": self.breaker.trips,
+            "backoff_s": round(self.backoff.total_s, 3),
         }
 
     # -- main loop ------------------------------------------------------
@@ -402,13 +587,22 @@ class _ParallelDriver:
 # Entry points
 # ----------------------------------------------------------------------
 def _execute_serial(lanes, supervisor, ledger, done, report, progress,
-                    prevalidate) -> None:
-    """The historical one-cell-at-a-time loop (``jobs=1``)."""
+                    prevalidate, chaos=None,
+                    failure_budget=None) -> None:
+    """The historical one-cell-at-a-time loop (``jobs=1``), with the
+    same driver-side hardening as the parallel path: crash verdicts go
+    through the circuit breaker (retry with backoff, ``poisoned`` at
+    the threshold) and the failure-rate budget can abort early."""
     started = time.monotonic()
     busy_s = 0.0
     dispatched = 0
+    breaker = CircuitBreaker()
+    backoff = RespawnBackoff(chaos.plan.seed if chaos is not None else 0)
+    aborted = False
     for lane in lanes:
-        while True:
+        if aborted:
+            break
+        while not aborted:
             spec = lane.next_spec()
             if spec is None:
                 break
@@ -424,17 +618,41 @@ def _execute_serial(lanes, supervisor, ledger, done, report, progress,
                 else:
                     dispatched += 1
                     attempt_started = time.monotonic()
-                    result = supervisor.run(spec)
+                    while True:
+                        result = supervisor.run(spec)
+                        if (result.status == "failed"
+                                and result.failure_class
+                                == WorkerCrash.__name__):
+                            if breaker.record_crash(
+                                    spec.identity_hash()):
+                                result = _poisoned_result(
+                                    spec, breaker.threshold,
+                                    result.failure_detail or "",
+                                )
+                                break
+                            backoff.sleep()
+                            continue
+                        breaker.reset(spec.identity_hash())
+                        backoff.reset()
+                        break
                     busy_s += time.monotonic() - attempt_started
                     record = Ledger.record_for(spec, result)
                     report.retried += result.retries
-                    if result.ok:
+                    if result.status == "ok":
                         report.completed += 1
+                    elif result.status == "poisoned":
+                        report.poisoned += 1
                     else:
                         report.failed += 1
                 if ledger is not None:
                     ledger.append(record)
+                    if chaos is not None:
+                        chaos.driver_batch_gate()
                 done[cell] = record
+                abort = _over_budget(report, failure_budget)
+                if abort is not None:
+                    report.aborted = abort
+                    aborted = True
             if progress is not None:
                 progress(spec, record)
             lane.advance(record)
@@ -452,6 +670,10 @@ def _execute_serial(lanes, supervisor, ledger, done, report, progress,
             if elapsed > 0 else 0.0,
             "max_ready_lanes": len(lanes),
             "max_inflight": 1 if dispatched else 0,
+            "worker_respawns": 0,
+            "worker_crash_retries": breaker.crash_retries,
+            "breaker_trips": breaker.trips,
+            "backoff_s": round(backoff.total_s, 3),
         }
 
 
@@ -467,6 +689,8 @@ def execute_lanes(
     prevalidate: bool = True,
     mp_context: Optional[str] = None,
     poll_s: float = POLL_S,
+    chaos=None,
+    failure_budget: Optional[float] = None,
 ) -> dict[str, dict]:
     """Run every lane to exhaustion; returns the records-by-hash map.
 
@@ -476,6 +700,13 @@ def execute_lanes(
     lanes out across worker processes; completion order then varies
     but the produced record set does not.  ``done`` (resumed records)
     is updated in place and returned.
+
+    ``chaos`` is a driver-side
+    :class:`~repro.harness.chaos.ChaosController` (duck typed --
+    this module never imports the chaos layer); ``failure_budget`` is
+    the campaign failure-rate ceiling (e.g. ``0.5``) past which the
+    run aborts with ``report.aborted`` set instead of grinding
+    through a doomed campaign.
     """
     lanes = [lane for lane in lanes if not lane.exhausted]
     supervisor = supervisor if supervisor is not None else RunSupervisor()
@@ -490,10 +721,10 @@ def execute_lanes(
     jobs = min(jobs, len(lanes)) if lanes else 0
     if jobs <= 1:
         _execute_serial(lanes, supervisor, ledger, done, report,
-                        progress, prevalidate)
+                        progress, prevalidate, chaos, failure_budget)
     else:
         _ParallelDriver(
             lanes, jobs, supervisor, ledger, done, report, progress,
-            prevalidate, mp_context, poll_s,
+            prevalidate, mp_context, poll_s, chaos, failure_budget,
         ).run()
     return done

@@ -60,6 +60,21 @@ class CellSpec:
         )
         return hashlib.sha256(canonical.encode()).hexdigest()[:16]
 
+    def identity_hash(self) -> str:
+        """Content hash of the cell's *identity* -- every field except
+        the cycle/event budgets.  Budget escalation produces a new
+        :meth:`cell_hash` (a bigger budget is a different request) but
+        the same identity, which is what the chaos layer and the
+        per-cell circuit breaker key on: an injected fault or a crash
+        streak follows the cell across escalated retries.
+        """
+        fields = self.as_dict()
+        del fields["max_cycles"]
+        del fields["max_events"]
+        canonical = json.dumps(fields, sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
     def escalated(self, factor: float) -> "CellSpec":
         """The same cell with both budgets scaled up (retry policy)."""
         return replace(

@@ -75,8 +75,16 @@ def execute_cell(spec: CellSpec) -> dict:
     }
 
 
-def _child_main(spec: CellSpec, channel) -> None:
-    """Subprocess entry point: run the cell, ship back one dict."""
+def _child_main(spec: CellSpec, channel, sabotage=None) -> None:
+    """Subprocess entry point: run the cell, ship back one dict.
+
+    ``sabotage`` is an optional chaos-layer
+    :class:`~repro.harness.chaos.Sabotage` decided by the *parent*;
+    the child applies it blindly (sleep, die) so no chaos logic or
+    RNG state ever runs worker-side.
+    """
+    if sabotage is not None:
+        sabotage.apply()
     try:
         payload = execute_cell(spec)
     except SimulationDeadlock as exc:
@@ -102,7 +110,7 @@ class CellResult:
     """The supervisor's verdict on one cell (after retries)."""
 
     spec: CellSpec  # the final spec attempted (post-escalation)
-    status: str  # "ok" | "failed"
+    status: str  # "ok" | "failed" | "poisoned"
     attempts: int = 1
     retries: int = 0
     wall_s: float = 0.0
@@ -110,6 +118,10 @@ class CellResult:
     failure_class: Optional[str] = None
     failure_detail: Optional[str] = None
     diagnostics: Optional[dict] = None
+    #: Attempts lost to chaos-injected faults.  Excluded from
+    #: ``retries`` so a chaos campaign's retry accounting aggregates
+    #: bit-identically to an undisturbed run.
+    injected: int = 0
 
     @property
     def ok(self) -> bool:
@@ -151,6 +163,7 @@ class RunSupervisor:
         escalation: float = 4.0,
         isolation: str = "process",
         mp_context: Optional[str] = None,
+        chaos=None,
     ) -> None:
         if isolation not in ("process", "inline"):
             raise ValueError(f"unknown isolation {isolation!r}")
@@ -169,6 +182,12 @@ class RunSupervisor:
             )
         self.mp_context = mp_context
         self._ctx = multiprocessing.get_context(mp_context)
+        #: Optional :class:`~repro.harness.chaos.ChaosPlan` (duck
+        #: typed: anything with ``sabotage_for``/``selected``).  A
+        #: frozen dataclass, so it pickles into scheduler workers with
+        #: the supervisor.  Sabotage only engages under process
+        #: isolation -- an inline SIGKILL would kill the driver.
+        self.chaos = chaos
 
     # ------------------------------------------------------------------
     def clone_kwargs(self) -> dict:
@@ -180,6 +199,7 @@ class RunSupervisor:
             "escalation": self.escalation,
             "isolation": self.isolation,
             "mp_context": self.mp_context,
+            "chaos": self.chaos,
         }
 
     def __getstate__(self) -> dict:
@@ -194,23 +214,39 @@ class RunSupervisor:
     # ------------------------------------------------------------------
     def run(self, spec: CellSpec) -> CellResult:
         """One cell through the full policy: attempt, classify, and
-        retry transient budget failures with escalated budgets."""
+        retry transient budget failures with escalated budgets.
+
+        With a chaos plan attached, each attempt may carry an injected
+        sabotage.  A *retryable* injected failure (one-shot kill or
+        stall) is retried immediately on the same spec and counted in
+        ``injected`` rather than ``retries`` -- the injection must
+        never consume the real retry budget or escalate budgets, or a
+        chaos run's verdicts would diverge from a clean run's.
+        """
         started = time.monotonic()
         if self.isolation == "process" and self.mp_context == "fork":
             self._warm_compile(spec)
         attempts = 0
+        injected = 0
         while True:
             attempts += 1
-            payload = self._attempt(spec)
+            sabotage = None
+            if self.chaos is not None and self.isolation == "process":
+                sabotage = self.chaos.sabotage_for(spec, attempts)
+            payload = self._attempt(spec, sabotage)
             if payload["status"] == "ok":
                 return CellResult(
                     spec=spec, status="ok", attempts=attempts,
-                    retries=attempts - 1,
+                    retries=attempts - 1 - injected,
                     wall_s=time.monotonic() - started, outcome=payload,
+                    injected=injected,
                 )
+            if sabotage is not None and sabotage.retryable:
+                injected += 1
+                continue
             failure_class = payload.get("failure_class", "WorkerCrash")
             if is_transient(failure_class) and \
-                    attempts <= self.max_retries:
+                    attempts - injected <= self.max_retries:
                 # A bigger budget may complete; true deadlocks and
                 # watchdog kills are not retried (deterministic or
                 # already at the wall-clock limit).
@@ -218,11 +254,12 @@ class RunSupervisor:
                 continue
             return CellResult(
                 spec=spec, status="failed", attempts=attempts,
-                retries=attempts - 1,
+                retries=attempts - 1 - injected,
                 wall_s=time.monotonic() - started,
                 failure_class=failure_class,
                 failure_detail=payload.get("failure_detail"),
                 diagnostics=payload.get("diagnostics"),
+                injected=injected,
             )
 
     # ------------------------------------------------------------------
@@ -249,10 +286,10 @@ class RunSupervisor:
         except Exception:  # noqa: BLE001 - deferred to the attempt
             pass
 
-    def _attempt(self, spec: CellSpec) -> dict:
+    def _attempt(self, spec: CellSpec, sabotage=None) -> dict:
         if self.isolation == "inline":
             return self._attempt_inline(spec)
-        return self._attempt_process(spec)
+        return self._attempt_process(spec, sabotage)
 
     @staticmethod
     def _attempt_inline(spec: CellSpec) -> dict:
@@ -269,10 +306,11 @@ class RunSupervisor:
                     diagnostics.to_dict() if diagnostics else None,
             }
 
-    def _attempt_process(self, spec: CellSpec) -> dict:
+    def _attempt_process(self, spec: CellSpec, sabotage=None) -> dict:
         channel = self._ctx.SimpleQueue()
         worker = self._ctx.Process(
-            target=_child_main, args=(spec, channel), daemon=True
+            target=_child_main, args=(spec, channel, sabotage),
+            daemon=True,
         )
         worker.start()
         worker.join(self.timeout_s)

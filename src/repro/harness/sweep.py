@@ -72,9 +72,14 @@ class SweepReport:
     completed: int = 0  # cells simulated to success this run
     failed: int = 0  # cells recorded as failed this run
     invalid: int = 0  # cells statically rejected, never simulated
+    poisoned: int = 0  # cells quarantined by the circuit breaker
     retried: int = 0  # total retry attempts across cells
     skipped: int = 0  # cells resumed from the ledger, not re-simulated
-    torn_lines: int = 0  # corrupt ledger lines seen while resuming
+    torn_lines: int = 0  # truncated ledger lines seen while resuming
+    corrupt_lines: int = 0  # checksum-failed lines seen while resuming
+    #: Set when the campaign failure-rate budget aborted the run; the
+    #: report is then partial by design.
+    aborted: Optional[str] = None
     failures: list[CellFailure] = field(default_factory=list)
     #: Observability blocks keyed by subsystem: ``"scheduler"``
     #: (worker utilization, queue depths, reap counts -- filled by
@@ -85,18 +90,31 @@ class SweepReport:
 
     @property
     def total(self) -> int:
-        return self.completed + self.failed + self.invalid + self.skipped
+        return (self.completed + self.failed + self.invalid
+                + self.poisoned + self.skipped)
 
     def summary(self) -> str:
-        torn = (
+        poisoned = (
+            f" / {self.poisoned} poisoned" if self.poisoned else ""
+        )
+        lines = (
             f" [{self.torn_lines} torn ledger line(s) skipped]"
             if self.torn_lines else ""
         )
-        return (
+        if self.corrupt_lines:
+            lines += (
+                f" [{self.corrupt_lines} checksum-failed ledger "
+                f"line(s) skipped]"
+            )
+        text = (
             f"cells: {self.completed} completed / {self.failed} failed "
-            f"/ {self.invalid} invalid / {self.retried} retried "
-            f"/ {self.skipped} resumed ({self.total} total){torn}"
+            f"/ {self.invalid} invalid{poisoned} / {self.retried} "
+            f"retried / {self.skipped} resumed ({self.total} total)"
+            f"{lines}"
         )
+        if self.aborted:
+            text += f"\nABORTED: {self.aborted}"
+        return text
 
     def metrics_summary(self) -> str:
         """One line per observability block, or '' when none were
@@ -156,6 +174,8 @@ def sweep_cells(
     progress: Optional[Callable[[CellSpec, dict], None]] = None,
     prevalidate: bool = True,
     jobs: Optional[int] = 1,
+    chaos=None,
+    failure_budget: Optional[float] = None,
 ) -> tuple[dict[str, dict], SweepReport]:
     """Run an explicit cell list; returns (records by hash, report).
 
@@ -169,6 +189,8 @@ def sweep_cells(
     report = SweepReport()
     if ledger is not None:
         report.torn_lines = ledger.torn_lines
+        report.corrupt_lines = ledger.corrupt_lines
+        ledger.chaos = chaos
     lanes = [
         Lane(key=(index,), specs=[spec])
         for index, spec in enumerate(specs)
@@ -177,10 +199,16 @@ def sweep_cells(
     execute_lanes(
         lanes, jobs=jobs, supervisor=supervisor, ledger=ledger,
         done=done, report=report, progress=noted,
-        prevalidate=prevalidate,
+        prevalidate=prevalidate, chaos=chaos,
+        failure_budget=failure_budget,
     )
     _finish_sweep_metrics(report, meter)
-    records = {spec.cell_hash(): done[spec.cell_hash()] for spec in specs}
+    # ``.get``: an aborted (failure-budget) run leaves later cells
+    # without records; the partial map is the point.
+    records = {
+        spec.cell_hash(): done[spec.cell_hash()]
+        for spec in specs if spec.cell_hash() in done
+    }
     return records, report
 
 
@@ -298,6 +326,8 @@ def design_space_sweep(
     progress: Optional[Callable[[CellSpec, dict], None]] = None,
     prevalidate: bool = True,
     jobs: Optional[int] = 1,
+    chaos=None,
+    failure_budget: Optional[float] = None,
 ) -> tuple[list[ParetoPoint], SweepReport]:
     """The fault-tolerant Figure 6/7 evaluation loop.
 
@@ -318,6 +348,8 @@ def design_space_sweep(
     report = SweepReport()
     if ledger is not None:
         report.torn_lines = ledger.torn_lines
+        report.corrupt_lines = ledger.corrupt_lines
+        ledger.chaos = chaos
     lanes = build_lanes(
         designs, names, scale, threaded, candidates, max_cycles,
         max_events,
@@ -326,7 +358,8 @@ def design_space_sweep(
     records = execute_lanes(
         lanes, jobs=jobs, supervisor=supervisor, ledger=ledger,
         done=done, report=report, progress=noted,
-        prevalidate=prevalidate,
+        prevalidate=prevalidate, chaos=chaos,
+        failure_budget=failure_budget,
     )
     _finish_sweep_metrics(report, meter)
     points = _aggregate(designs, names, lanes, records, report)

@@ -115,13 +115,22 @@ def _observability_section(ledger_path) -> str:
     if not records:
         lines.append(f"No records in `{ledger_path}`.")
         return "\n".join(lines)
-    statuses = summarize(records, ledger.torn_lines)
+    statuses = summarize(records, ledger.torn_lines,
+                         ledger.corrupt_lines)
     registry = aggregate_records(records.values())
     counters = registry.counters
     lines.append(
         f"`{ledger_path}`: {len(records)} cells "
         f"({', '.join(f'{v} {k}' for k, v in sorted(statuses.items()))})."
     )
+    audit = ledger.verify()
+    integrity = f"Ledger integrity: {audit.summary()}."
+    if not audit.clean:
+        integrity += (
+            f" Run `repro ledger repair {ledger_path}` to quarantine "
+            f"the bad lines."
+        )
+    lines += ["", integrity]
     lines += ["", "| metric | value |", "|---|---|"]
     for name, value in counters.items():
         lines.append(f"| {name} | {value:,} |")

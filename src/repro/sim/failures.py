@@ -92,6 +92,14 @@ class WorkerCrash(SimulationDeadlock):
     (signal, OOM kill, interpreter abort)."""
 
 
+class PoisonedCell(SimulationDeadlock):
+    """A cell whose workers crashed so many consecutive times that the
+    campaign circuit breaker quarantined it: further retries would
+    only burn the retry budget.  Terminal -- recorded with ledger
+    status ``poisoned`` and never re-dispatched on resume; the rest of
+    the campaign continues (graceful degradation)."""
+
+
 #: The budget classes a supervisor may retry with escalated budgets.
 TRANSIENT_CLASSES = (CycleBudgetExhausted, EventBudgetExhausted)
 
@@ -105,6 +113,7 @@ FAILURE_CLASSES: dict[str, type] = {
         EventBudgetExhausted,
         WatchdogTimeout,
         WorkerCrash,
+        PoisonedCell,
     )
 }
 

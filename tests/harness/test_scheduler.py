@@ -234,9 +234,11 @@ def test_supervisor_policy_runs_inside_workers(tmp_path):
 
 
 def test_dead_worker_is_reaped_and_replaced(monkeypatch, tmp_path):
-    """A worker that dies without reporting (OOM-kill stand-in) turns
-    its in-flight cell into a WorkerCrash verdict; the pool refills
-    and the campaign still terminates."""
+    """A worker that dies without reporting (OOM-kill stand-in) is
+    retried through the circuit breaker -- crash verdicts never reach
+    the ledger -- and when every replacement dies too, the cell is
+    quarantined as terminal ``poisoned`` instead of burning retries
+    forever.  The pool refills and the campaign still terminates."""
     if "fork" not in multiprocessing.get_all_start_methods():
         pytest.skip("needs fork to inherit the monkeypatched worker")
 
@@ -257,12 +259,21 @@ def test_dead_worker_is_reaped_and_replaced(monkeypatch, tmp_path):
         lanes, jobs=2, supervisor=RunSupervisor(isolation="inline"),
         ledger=ledger, report=report, mp_context="fork", poll_s=0.05,
     )
-    assert report.failed == 2
+    assert report.failed == 0  # crashes are retried, not recorded
+    assert report.poisoned == 2
     assert all(
-        r["failure_class"] == "WorkerCrash" and "exit code 13" in
-        r["failure_detail"]
+        r["status"] == "poisoned"
+        and r["failure_class"] == "PoisonedCell"
+        and "exit code 13" in r["failure_detail"]
         for r in records.values()
     )
+    sched = report.metrics["scheduler"]
+    # threshold crashes per cell: threshold-1 retries + 1 trip each.
+    assert sched["breaker_trips"] == 2
+    assert sched["worker_crash_retries"] == \
+        2 * (scheduler_mod.BREAKER_THRESHOLD - 1)
+    assert sched["worker_respawns"] >= 2
+    assert sched["backoff_s"] > 0
     assert len(ledger.load()) == 2
 
 
