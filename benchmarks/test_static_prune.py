@@ -1,0 +1,171 @@
+"""BENCH_prune: static-bound pruning on the default Figure 6 study.
+
+Runs the default design study (every third viable design) over the
+SpecINT+SpecFP suite twice -- once unpruned, once with ``prune=True``
+-- and checks the three contractual properties of the prune driver:
+
+* **Soundness**: the static AIPC upper bound dominates the measured
+  AIPC for every cell the unpruned sweep completed.
+* **Frontier identity**: the pruned sweep's Pareto frontier is
+  bit-identical to the unpruned one.
+* **Effectiveness**: at least 20% of the study's cells are skipped
+  as ``pruned_static`` (the descending-bound lane order is what makes
+  this hold; suite order alone prunes under 3%).
+
+The machine-readable evidence is written to
+``benchmarks/results/BENCH_prune.json``.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.analysis.dataflow import bound_for_cell
+from repro.design import pareto_front, viable_designs
+from repro.harness.ledger import Ledger
+from repro.harness.spec import CellSpec
+from repro.harness.sweep import design_space_sweep
+
+from .conftest import RESULTS_DIR, bench_scale, full_sweep
+
+SPEC_SUITE = ("gzip", "mcf", "twolf", "ammp", "art", "equake")
+MAX_CYCLES = 2_000_000
+MIN_PRUNE_RATE = 0.20
+
+
+def design_subset():
+    designs = viable_designs()
+    return designs if full_sweep() else designs[::3]
+
+
+def run_study(designs, ledger_path, *, prune):
+    start = time.monotonic()
+    points, report = design_space_sweep(
+        designs,
+        SPEC_SUITE,
+        scale=bench_scale(),
+        ledger_path=ledger_path,
+        isolation="inline",
+        timeout_s=None,
+        max_cycles=MAX_CYCLES,
+        prune=prune,
+    )
+    wall_s = time.monotonic() - start
+    records = Ledger(ledger_path).load().values()
+    measured = {}
+    for record in records:
+        key = (record["config"], record["workload"])
+        if record["status"] == "ok":
+            measured[key] = record["aipc"]
+    return points, report, measured, wall_s
+
+
+@pytest.fixture(scope="module")
+def study(tmp_path_factory):
+    root = tmp_path_factory.mktemp("prune_study")
+    designs = design_subset()
+    unpruned = run_study(designs, root / "unpruned.jsonl", prune=False)
+    pruned = run_study(designs, root / "pruned.jsonl", prune=True)
+    return designs, unpruned, pruned
+
+
+def cell_bounds(designs):
+    bounds = {}
+    for design in designs:
+        for name in SPEC_SUITE:
+            spec = CellSpec(
+                config=design.config, workload=name, scale="tiny"
+            )
+            bounds[(design.config.describe(), name)] = \
+                bound_for_cell(spec)
+    return bounds
+
+
+def frontier(points):
+    return [(p.label, p.area, p.performance)
+            for p in pareto_front(points)]
+
+
+def test_bench_prune(study, record):
+    designs, unpruned, pruned = study
+    points_u, report_u, measured_u, wall_u = unpruned
+    points_p, report_p, measured_p, wall_p = pruned
+    bounds = cell_bounds(designs)
+    n_cells = len(designs) * len(SPEC_SUITE)
+
+    # Soundness: every measured AIPC sits under its static bound.
+    violations = [
+        (key, aipc, bounds[key].aipc_bound)
+        for key, aipc in sorted(measured_u.items())
+        if aipc > bounds[key].aipc_bound
+    ]
+    assert not violations, violations
+
+    # Frontier identity: pruning never changes the Pareto frontier.
+    front_u, front_p = frontier(points_u), frontier(points_p)
+    assert front_u == front_p
+
+    # Effectiveness on the default study (the full grid is larger and
+    # prunes even more, but only the default is pinned by the gate).
+    prune_rate = report_p.pruned_static / n_cells
+    assert report_u.pruned_static == 0
+    assert report_p.pruned_static + report_p.completed \
+        + report_p.failed + report_p.poisoned \
+        + report_p.invalid == n_cells
+    if not full_sweep():
+        assert prune_rate >= MIN_PRUNE_RATE, (
+            f"pruned {report_p.pruned_static}/{n_cells} "
+            f"= {prune_rate:.1%} < {MIN_PRUNE_RATE:.0%}"
+        )
+
+    best_aggregate = max(p.performance for p in points_u)
+    cells = [
+        {
+            "config": config,
+            "workload": name,
+            "bound": round(bounds[(config, name)].aipc_bound, 6),
+            "binding_roof": bounds[(config, name)].binding_roof,
+            "measured": (
+                round(measured_u[(config, name)], 6)
+                if (config, name) in measured_u else None
+            ),
+            "pruned": (config, name) not in measured_p,
+        }
+        for config in [d.config.describe() for d in designs]
+        for name in SPEC_SUITE
+    ]
+    payload = {
+        "scale": bench_scale().name.lower(),
+        "suite": list(SPEC_SUITE),
+        "n_designs": len(designs),
+        "n_cells": n_cells,
+        "pruned_static": report_p.pruned_static,
+        "prune_rate": round(prune_rate, 4),
+        "best_aggregate": round(best_aggregate, 6),
+        "wall_s_unpruned": round(wall_u, 2),
+        "wall_s_pruned": round(wall_p, 2),
+        "frontier": [
+            {"label": label, "area_mm2": round(area, 3),
+             "aipc": round(perf, 6)}
+            for label, area, perf in front_u
+        ],
+        "cells": cells,
+    }
+    (RESULTS_DIR / "BENCH_prune.json").write_text(
+        json.dumps(payload, indent=1) + "\n"
+    )
+
+    lines = [
+        f"designs {len(designs)}  suite {len(SPEC_SUITE)}  "
+        f"cells {n_cells}",
+        f"pruned_static {report_p.pruned_static} "
+        f"({prune_rate:.1%})  frontier identical: yes  "
+        f"soundness violations: 0",
+        f"wall unpruned {wall_u:.1f}s  pruned {wall_p:.1f}s",
+        "",
+        f"{'area':>7} {'AIPC':>8}  frontier configuration",
+    ]
+    for label, area, perf in front_u:
+        lines.append(f"{area:>7.1f} {perf:>8.4f}  {label}")
+    record("bench_prune", "\n".join(lines))

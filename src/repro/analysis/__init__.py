@@ -22,6 +22,16 @@ thin wrappers over this package; new rules plug in via
 :func:`repro.analysis.engine.rule`.
 """
 
+from .dataflow import (
+    BoundReport,
+    Interval,
+    TokenFlow,
+    WorkloadStatics,
+    analyze_tokens,
+    bound_for_cell,
+    compute_bound,
+    workload_statics,
+)
 from .diagnostics import Diagnostic, Report, Severity
 from .engine import (
     CONFIG_RULES,
@@ -45,6 +55,14 @@ from .lint import (
 from .sanitize import RuntimeSanitizer
 
 __all__ = [
+    "BoundReport",
+    "Interval",
+    "TokenFlow",
+    "WorkloadStatics",
+    "analyze_tokens",
+    "bound_for_cell",
+    "compute_bound",
+    "workload_statics",
     "Diagnostic",
     "Report",
     "Severity",

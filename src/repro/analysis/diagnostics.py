@@ -117,6 +117,33 @@ class Report:
     def by_severity(self, severity: Severity) -> list[Diagnostic]:
         return [d for d in self.diagnostics if d.severity is severity]
 
+    def dedup(self) -> int:
+        """Drop diagnostics identical in (rule, source, location,
+        message), keeping the first of each; returns how many were
+        dropped.  Rules over repetitive structures (one finding per
+        instruction instance, say) can emit the same text many times;
+        one line per distinct problem is what a human acts on, and
+        :meth:`counts_by_rule` still shows the totals."""
+        seen: set[tuple[str, str, str, str]] = set()
+        kept: list[Diagnostic] = []
+        for diag in self.diagnostics:
+            key = (diag.rule, diag.source, diag.location, diag.message)
+            if key in seen:
+                continue
+            seen.add(key)
+            kept.append(diag)
+        dropped = len(self.diagnostics) - len(kept)
+        self.diagnostics = kept
+        return dropped
+
+    def counts_by_rule(self) -> dict[str, int]:
+        """Findings per rule id, sorted by rule id (for lint text
+        output and report tables)."""
+        counts: dict[str, int] = {}
+        for diag in sorted(self.diagnostics, key=lambda d: d.rule):
+            counts[diag.rule] = counts.get(diag.rule, 0) + 1
+        return counts
+
     @property
     def errors(self) -> list[Diagnostic]:
         return self.by_severity(Severity.ERROR)

@@ -114,6 +114,10 @@ def _run_rules(rules: list[Rule], subject, source: str) -> Report:
                 ),
                 source=source,
             )])
+    # One line per distinct (rule, source, location, message): rules
+    # over repetitive structures can emit the same finding per
+    # instance, which buries the signal.
+    report.dedup()
     return report
 
 
@@ -123,7 +127,7 @@ def analyze_graph(
     ignore: Iterable[str] = (),
 ) -> Report:
     """Run the graph registry over a dataflow program."""
-    from . import graph_rules  # noqa: F401 - ensure rules registered
+    from . import dataflow, graph_rules  # noqa: F401 - rules register
 
     rules = _select(GRAPH_RULES, only, ignore)
     return _run_rules(rules, graph, getattr(graph, "name", ""))
@@ -144,7 +148,7 @@ def analyze_config(
 
 def rule_catalog() -> list[tuple[str, str, str]]:
     """(id, target, title) for every registered rule, in run order."""
-    from . import config_rules, graph_rules  # noqa: F401
+    from . import config_rules, dataflow, graph_rules  # noqa: F401
 
     out = [(r.rule_id, r.target, r.title) for r in GRAPH_RULES.values()]
     out += [(r.rule_id, r.target, r.title) for r in CONFIG_RULES.values()]

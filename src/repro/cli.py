@@ -139,8 +139,36 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _lint_exit(merged, fail_on: str) -> int:
+    """Exit code for a lint report under a ``--fail-on`` threshold:
+    non-zero when any diagnostic at or above the threshold severity
+    exists (error < warning < info, compiler convention)."""
+    if fail_on == "info":
+        return 1 if len(merged) else 0
+    if fail_on == "warning":
+        return 1 if (merged.has_errors or merged.warnings) else 0
+    return 1 if merged.has_errors else 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     from .analysis import lint_config, merge_reports, resolve_targets
+
+    if args.self_lint:
+        from .analysis.selflint import lint_self
+
+        merged = lint_self()
+        if args.json:
+            print(merged.to_json(indent=2))
+        else:
+            for diag in merged.sorted():
+                print(diag.render())
+            counts = ", ".join(
+                f"{rule} x{count}"
+                for rule, count in merged.counts_by_rule().items()
+            )
+            print(f"self-lint (determinism D-rules): {merged.summary()}"
+                  + (f" [{counts}]" if counts else ""))
+        return _lint_exit(merged, args.fail_on)
 
     targets = args.targets or ["all"]
     results = resolve_targets(
@@ -163,11 +191,16 @@ def cmd_lint(args: argparse.Namespace) -> int:
             for diag in diags:
                 print(diag.render())
         clean = sum(1 for r in results if not len(r.report))
+        counts = ", ".join(
+            f"{rule} x{count}"
+            for rule, count in merged.counts_by_rule().items()
+        )
         print(
             f"linted {len(results)} target(s) ({clean} silent): "
             f"{merged.summary()}"
+            + (f" [{counts}]" if counts else "")
         )
-    return 1 if merged.has_errors else 0
+    return _lint_exit(merged, args.fail_on)
 
 
 def cmd_area(args: argparse.Namespace) -> int:
@@ -208,6 +241,42 @@ def cmd_designs(args: argparse.Namespace) -> int:
     for d in designs:
         print(f"  {d.area_mm2:>6.0f} mm2  {d.config.describe()}")
     return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from .analysis import analyze_graph, bound_for_cell, workload_statics
+    from .harness.spec import CellSpec
+
+    config = _config_from(args)
+    names = SUITES[args.suite] if args.suite else [args.workload]
+    reports = []
+    exit_code = 0
+    for name in names:
+        spec = CellSpec(
+            config=config, workload=name, scale=args.scale,
+            threads=args.threads,
+        )
+        bound = bound_for_cell(spec)
+        reports.append(bound)
+        if bound.proven_deadlock:
+            exit_code = 1
+    if args.json:
+        import json as _json
+
+        print(_json.dumps([b.to_dict() for b in reports], indent=2))
+        return exit_code
+    for bound in reports:
+        print(bound.render())
+        print(f"  binding roof       {bound.binding_roof}")
+        if args.verbose:
+            statics = workload_statics(
+                bound.workload, scale=args.scale, threads=args.threads
+            )
+            if statics.graph is not None:
+                for diag in analyze_graph(statics.graph).sorted():
+                    print(f"  {diag.render()}")
+        print()
+    return exit_code
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
@@ -254,6 +323,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         threaded=threaded, ledger_path=args.ledger, resume=args.resume,
         timeout_s=args.timeout_s, isolation=isolation, jobs=jobs,
         progress=progress, failure_budget=args.failure_budget,
+        prune=args.prune,
     )
     if args.save:
         from .design import dump_points
@@ -573,6 +643,33 @@ def build_parser() -> argparse.ArgumentParser:
                               "report) when more than this fraction "
                               "of resolved cells failed or were "
                               "poisoned, e.g. 0.5")
+    p_sweep.add_argument("--prune", action="store_true",
+                         help="skip cells whose static AIPC upper "
+                              "bound is dominated by an already-"
+                              "measured cheaper design (pruned_static "
+                              "ledger records; the Pareto frontier is "
+                              "bit-identical to an unpruned sweep; "
+                              "forces serial execution)")
+
+    p_analyze = sub.add_parser(
+        "analyze", help="static dataflow analysis: token-occupancy "
+                        "proofs and a sound AIPC upper bound per "
+                        "(workload, config) cell, no simulation"
+    )
+    _add_config_args(p_analyze)
+    group = p_analyze.add_mutually_exclusive_group(required=True)
+    group.add_argument("--workload", "-w", choices=sorted(WORKLOADS))
+    group.add_argument("--suite", choices=sorted(SUITES))
+    p_analyze.add_argument("--scale", default="tiny",
+                           choices=[s.value for s in Scale])
+    p_analyze.add_argument("--threads", "-t", type=int, default=None,
+                           help="thread count for multithreaded "
+                                "workloads")
+    p_analyze.add_argument("--json", action="store_true",
+                           help="emit bound reports as JSON")
+    p_analyze.add_argument("--verbose", "-v", action="store_true",
+                           help="also run the graph rule registry and "
+                                "print its diagnostics")
 
     p_lint = sub.add_parser(
         "lint", help="static analysis of programs and configs"
@@ -596,6 +693,17 @@ def build_parser() -> argparse.ArgumentParser:
                         help="emit diagnostics as JSON")
     p_lint.add_argument("--verbose", "-v", action="store_true",
                         help="include info-level diagnostics")
+    p_lint.add_argument("--fail-on", default="error", dest="fail_on",
+                        choices=["error", "warning", "info"],
+                        help="lowest severity that makes the exit "
+                             "code non-zero (default: error; "
+                             "'warning' also fails on warnings, "
+                             "'info' fails on any diagnostic)")
+    p_lint.add_argument("--self", action="store_true", dest="self_lint",
+                        help="lint the repro source tree itself for "
+                             "determinism hazards (D-rules: wall-"
+                             "clock reads, unseeded randomness, set "
+                             "iteration feeding ordered output)")
 
     p_char = sub.add_parser("characterize",
                             help="workload shape table (Section 2.2)")
@@ -729,6 +837,7 @@ COMMANDS = {
     "area": cmd_area,
     "designs": cmd_designs,
     "sweep": cmd_sweep,
+    "analyze": cmd_analyze,
     "lint": cmd_lint,
     "trace": cmd_trace,
     "stats": cmd_stats,

@@ -486,6 +486,7 @@ class Ledger:
                     fh.write(json.dumps({
                         "reason": reason,
                         "line_no": line_no,
+                        # selflint: allow(D001) forensic stamp only
                         "quarantined_ts": time.time(),
                         "line": text,
                     }, sort_keys=True) + "\n")
@@ -547,6 +548,7 @@ class Ledger:
             "attempts": result.attempts,
             "retries": result.retries,
             "wall_s": round(result.wall_s, 3),
+            # selflint: allow(D001) human-facing only, never compared
             "ts": time.time(),
             "spec": spec.as_dict(),
         }
@@ -588,11 +590,47 @@ class Ledger:
             "attempts": 0,
             "retries": 0,
             "wall_s": 0.0,
+            # selflint: allow(D001) human-facing only, never compared
             "ts": time.time(),
             "spec": spec.as_dict(),
             "failure_class": "ConfigRuleViolation",
             "failure_detail": first.message if first else "",
             "diagnostics": [d.to_dict() for d in diagnostics],
+        }
+
+    @staticmethod
+    def record_pruned(spec: CellSpec, bound) -> dict:
+        """Serialise a statically pruned cell: the bound-driven sweep
+        proved this cell cannot lift its design onto the Pareto
+        frontier, so no subprocess ever ran (``attempts == 0``).
+
+        ``bound`` is the cell's
+        :class:`~repro.analysis.dataflow.BoundReport`; its AIPC upper
+        bound travels with the record so resume and aggregation can
+        substitute it for the unmeasured cell (the mixed aggregate
+        stays an upper bound on the true one, which is the pruning
+        soundness argument -- see DESIGN.md section 5h).
+        """
+        return {
+            "version": LEDGER_VERSION,
+            "hash": spec.cell_hash(),
+            "status": "pruned_static",
+            "workload": spec.workload,
+            "config": spec.config.describe(),
+            "threads": spec.threads,
+            "attempts": 0,
+            "retries": 0,
+            "wall_s": 0.0,
+            # selflint: allow(D001) human-facing only, never compared
+            "ts": time.time(),
+            "spec": spec.as_dict(),
+            "aipc_bound": round(bound.aipc_bound, 6),
+            "cycles_lower_bound": bound.cycles_lower_bound,
+            "binding_roof": bound.binding_roof,
+            "components": {
+                name: round(value, 6)
+                for name, value in sorted(bound.components.items())
+            },
         }
 
 

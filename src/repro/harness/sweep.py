@@ -73,6 +73,7 @@ class SweepReport:
     failed: int = 0  # cells recorded as failed this run
     invalid: int = 0  # cells statically rejected, never simulated
     poisoned: int = 0  # cells quarantined by the circuit breaker
+    pruned_static: int = 0  # cells skipped by the static-bound pruner
     retried: int = 0  # total retry attempts across cells
     skipped: int = 0  # cells resumed from the ledger, not re-simulated
     torn_lines: int = 0  # truncated ledger lines seen while resuming
@@ -91,12 +92,14 @@ class SweepReport:
     @property
     def total(self) -> int:
         return (self.completed + self.failed + self.invalid
-                + self.poisoned + self.skipped)
+                + self.poisoned + self.pruned_static + self.skipped)
 
     def summary(self) -> str:
         poisoned = (
             f" / {self.poisoned} poisoned" if self.poisoned else ""
         )
+        if self.pruned_static:
+            poisoned += f" / {self.pruned_static} pruned"
         lines = (
             f" [{self.torn_lines} torn ledger line(s) skipped]"
             if self.torn_lines else ""
@@ -287,6 +290,14 @@ def _aggregate(
                 if record["status"] == "ok":
                     aipc = record.get("aipc", 0.0)
                     best = aipc if best is None else max(best, aipc)
+                elif record["status"] == "pruned_static":
+                    # A pruned cell contributes its static upper bound:
+                    # the mixed aggregate is then an upper bound on the
+                    # true one, and the pruner only skips cells whose
+                    # design is dominated even at that optimistic
+                    # score, so the Pareto frontier is unchanged.
+                    bound = record.get("aipc_bound", 0.0)
+                    best = bound if best is None else max(best, bound)
                 else:
                     report.failures.append(CellFailure(
                         config=config.describe(), workload=name,
@@ -305,6 +316,165 @@ def _aggregate(
             performance=aipc, payload=config,
         ))
     return points
+
+
+def _lane_score(
+    lane: Lane, records: dict[str, dict]
+) -> tuple[Optional[float], bool, bool]:
+    """``(score, complete, pruned)`` for one lane, mirroring the
+    :func:`_aggregate` scan exactly.
+
+    ``complete`` means the lane needs no further simulation: every
+    cell has a record, or an early cell failed (the lane protocol
+    stops probing after a failure, so the score stands).  ``pruned``
+    flags lanes carrying a ``pruned_static`` record -- their score is
+    an upper bound, not a measurement, so the design is disqualified
+    as a pruning comparator.
+    """
+    best: Optional[float] = None
+    pruned = False
+    for spec in lane.specs:
+        record = records.get(spec.cell_hash())
+        if record is None:
+            return best, False, pruned
+        if record["status"] == "ok":
+            aipc = record.get("aipc", 0.0)
+            best = aipc if best is None else max(best, aipc)
+        elif record["status"] == "pruned_static":
+            pruned = True
+            bound = record.get("aipc_bound", 0.0)
+            best = bound if best is None else max(best, bound)
+        else:
+            return (best or 0.0), True, pruned
+    return (best or 0.0), True, pruned
+
+
+def _optimistic_aggregate(
+    dlanes: Sequence[Lane],
+    records: dict[str, dict],
+    lane_bounds: dict[tuple, float],
+) -> float:
+    """Upper bound on the design's final suite aggregate: measured
+    lanes contribute their score, unmeasured lanes their static AIPC
+    bound.  Sound because per-cell bounds dominate measurements and a
+    failed cell scores zero."""
+    total = 0.0
+    for lane in dlanes:
+        score, complete, _ = _lane_score(lane, records)
+        if complete:
+            total += score or 0.0
+        else:
+            total += max(score or 0.0, lane_bounds[lane.key])
+    return total / len(dlanes)
+
+
+def _execute_pruned(
+    designs: Sequence[DesignPoint],
+    names: Sequence[str],
+    lanes: Sequence[Lane],
+    *,
+    supervisor: RunSupervisor,
+    ledger: Optional[Ledger],
+    done: dict[str, dict],
+    report: SweepReport,
+    progress: Callable[[CellSpec, dict], None],
+    prevalidate: bool,
+    chaos,
+    failure_budget: Optional[float],
+) -> dict[str, dict]:
+    """Bound-driven sweep: skip cells that provably cannot move the
+    Pareto frontier.
+
+    Designs run serially in area order (the ``designs`` sequence is
+    already area-sorted).  Within a design, lanes run in *descending*
+    static-bound order, so the most optimistic terms of the design's
+    aggregate are replaced by measurements first and the optimistic
+    aggregate drops as fast as possible.  Before each lane, the
+    remaining cells are pruned when::
+
+        (sum of measured lane scores
+         + sum of unmeasured lane bounds) / len(names)
+            <= best aggregate of any fully-measured design so far
+
+    Every fully-measured design at this point has area <= the current
+    design's (area order), so a design pruned here is dominated on the
+    frontier whether its true aggregate is the mixed value or anything
+    below it -- the frontier is bit-identical to the unpruned sweep's
+    (proof in DESIGN.md section 5h).  Pruned cells get
+    ``pruned_static`` ledger records carrying their bound, so resumed
+    campaigns (pruned or not) replay the same decisions without
+    re-simulating.
+    """
+    from ..analysis.dataflow import bound_for_cell
+
+    n_names = len(names)
+    lane_bounds: dict[tuple, float] = {}
+    cell_bounds: dict[str, object] = {}
+    for lane in lanes:
+        best = 0.0
+        for spec in lane.specs:
+            bound = bound_for_cell(spec)
+            cell_bounds[spec.cell_hash()] = bound
+            best = max(best, bound.aipc_bound)
+        lane_bounds[lane.key] = best
+
+    frontier = 0.0  # best fully-measured aggregate at <= current area
+    for design_index in range(len(designs)):
+        if report.aborted:
+            break
+        dlanes = lanes[design_index * n_names:
+                       (design_index + 1) * n_names]
+        # Descending bound; lane key breaks float ties
+        # deterministically.
+        order = sorted(
+            dlanes, key=lambda lane: (-lane_bounds[lane.key], lane.key)
+        )
+        for lane in order:
+            _, complete, _ = _lane_score(lane, done)
+            if complete:
+                # Resumed from the ledger (measured or pruned in a
+                # prior run): same accounting as execute_lanes' skip.
+                report.skipped += sum(
+                    1 for spec in lane.specs
+                    if spec.cell_hash() in done
+                )
+                continue
+            if frontier > 0.0 and _optimistic_aggregate(
+                dlanes, done, lane_bounds
+            ) <= frontier:
+                # Dominated even if every unmeasured cell hit its
+                # bound: record the remainder of the design as pruned.
+                for victim in order:
+                    _, victim_done, _ = _lane_score(victim, done)
+                    if victim_done:
+                        continue
+                    for spec in victim.specs:
+                        if spec.cell_hash() in done:
+                            continue
+                        record = Ledger.record_pruned(
+                            spec, cell_bounds[spec.cell_hash()]
+                        )
+                        if ledger is not None:
+                            ledger.append(record)
+                        done[spec.cell_hash()] = record
+                        report.pruned_static += 1
+                        progress(spec, record)
+                break
+            execute_lanes(
+                [lane], jobs=1, supervisor=supervisor, ledger=ledger,
+                done=done, report=report, progress=progress,
+                prevalidate=prevalidate, chaos=chaos,
+                failure_budget=failure_budget,
+            )
+            if report.aborted:
+                break
+        scores = [_lane_score(lane, done) for lane in dlanes]
+        if (all(complete for _, complete, _ in scores)
+                and not any(pruned for _, _, pruned in scores)):
+            aggregate = sum(score or 0.0 for score, _, _ in scores) \
+                / n_names
+            frontier = max(frontier, aggregate)
+    return done
 
 
 def design_space_sweep(
@@ -328,6 +498,7 @@ def design_space_sweep(
     jobs: Optional[int] = 1,
     chaos=None,
     failure_budget: Optional[float] = None,
+    prune: bool = False,
 ) -> tuple[list[ParetoPoint], SweepReport]:
     """The fault-tolerant Figure 6/7 evaluation loop.
 
@@ -336,6 +507,15 @@ def design_space_sweep(
     ``repro.core.experiments.evaluate_design_space`` -- and identical
     in value for every ``jobs`` setting (``1`` = serial in-process,
     ``N>1`` = N worker processes, ``None``/``0`` = one per core).
+
+    ``prune=True`` turns on static-bound pruning: cells whose AIPC
+    upper bound cannot lift their design past an already-measured
+    cheaper design are skipped with ``pruned_static`` ledger records
+    (attempts=0, bound attached).  The returned Pareto *frontier* is
+    bit-identical to the unpruned sweep's; dominated (off-frontier)
+    points may report the optimistic mixed aggregate instead of the
+    measured one.  Prune mode executes serially (``jobs`` is ignored)
+    because each decision depends on the cells measured before it.
     """
     if supervisor is None:
         kwargs = {} if timeout_s is None else {"timeout_s": timeout_s}
@@ -355,12 +535,20 @@ def design_space_sweep(
         max_events,
     )
     meter, noted = _metered(lanes, progress)
-    records = execute_lanes(
-        lanes, jobs=jobs, supervisor=supervisor, ledger=ledger,
-        done=done, report=report, progress=noted,
-        prevalidate=prevalidate, chaos=chaos,
-        failure_budget=failure_budget,
-    )
+    if prune:
+        records = _execute_pruned(
+            designs, names, lanes, supervisor=supervisor,
+            ledger=ledger, done=done, report=report, progress=noted,
+            prevalidate=prevalidate, chaos=chaos,
+            failure_budget=failure_budget,
+        )
+    else:
+        records = execute_lanes(
+            lanes, jobs=jobs, supervisor=supervisor, ledger=ledger,
+            done=done, report=report, progress=noted,
+            prevalidate=prevalidate, chaos=chaos,
+            failure_budget=failure_budget,
+        )
     _finish_sweep_metrics(report, meter)
     points = _aggregate(designs, names, lanes, records, report)
     return points, report

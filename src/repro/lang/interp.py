@@ -38,6 +38,12 @@ class InterpResult:
     fired_by_opcode: dict[str, int]
     fired_by_inst: dict[int, int]
     waves_retired: dict[int, int]
+    #: Tokens delivered per static edge: ``(src, dst, dst_port) ->
+    #: count``.  Architectural (config-independent), so the static
+    #: bound analyzer can use it as an exact dynamic profile.
+    sent_by_edge: dict[tuple[int, int, int], int] = field(
+        default_factory=dict
+    )
 
     def output_values(self) -> list[Value]:
         """All OUTPUT-instruction values, ordered by (inst id, arrival)."""
@@ -180,11 +186,14 @@ def interpret(
     dynamic = 0
     alpha = 0
 
+    sent_by_edge: dict[tuple[int, int, int], int] = defaultdict(int)
+
     def send(inst_id: int, thread: int, wave: int, value: Value,
              taken: bool) -> None:
         inst = graph[inst_id]
         dests = inst.dests if taken else inst.false_dests
         for dest in dests:
+            sent_by_edge[(inst_id, dest.inst, dest.port)] += 1
             worklist.append(
                 Token(Tag(thread, wave, dest.inst, dest.port), value)
             )
@@ -278,4 +287,5 @@ def interpret(
         fired_by_opcode=dict(fired),
         fired_by_inst=dict(fired_inst),
         waves_retired=dict(memory.waves_retired),
+        sent_by_edge=dict(sent_by_edge),
     )

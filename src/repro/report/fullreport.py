@@ -150,6 +150,7 @@ def generate_report(
     ``ledger_path`` optionally appends a campaign-observability
     section aggregated from an existing sweep ledger.
     """
+    # selflint: allow(D001) report byline; tests pin `timestamp`
     stamp = timestamp or datetime.now(timezone.utc).strftime(
         "%Y-%m-%d %H:%M UTC"
     )

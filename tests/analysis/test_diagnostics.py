@@ -69,3 +69,56 @@ def test_report_json():
     assert data["warnings"] == 0
     assert data["diagnostics"][0]["rule"] == "G001"
     assert Diagnostic.from_dict(data["diagnostics"][0]) == make()
+
+
+def test_report_dedup_collapses_identical_findings():
+    report = Report([
+        make(message="dup"),
+        make(message="dup"),
+        make(message="dup", location="i9"),  # different location: kept
+        make(message="other"),
+    ])
+    dropped = report.dedup()
+    assert dropped == 1
+    assert [d.message for d in report] == ["dup", "dup", "other"]
+    # Idempotent.
+    assert report.dedup() == 0
+
+
+def test_report_counts_by_rule_sorted_by_rule_id():
+    report = Report([
+        make(rule="G005"),
+        make(rule="G001", message="a"),
+        make(rule="G001", message="b"),
+        make(rule="A001"),
+    ])
+    assert report.counts_by_rule() == {"A001": 1, "G001": 2, "G005": 1}
+    assert list(report.counts_by_rule()) == ["A001", "G001", "G005"]
+
+
+def test_engine_reports_are_deduplicated():
+    """A rule emitting the same (rule, location, message) twice
+    surfaces once in the engine's report."""
+    from repro.analysis.engine import GRAPH_RULES, Rule, analyze_graph
+
+    def noisy(graph):
+        diag = Diagnostic(rule="G999", severity=Severity.WARNING,
+                          message="same thing", location="i0")
+        return [diag, diag]
+
+    GRAPH_RULES["G999"] = Rule(
+        rule_id="G999", title="noisy", target="graph", check=noisy,
+        default_severity=Severity.WARNING,
+    )
+    try:
+        from repro.isa import DataflowGraph, Instruction, Opcode, make_token
+
+        graph = DataflowGraph(
+            instructions=[Instruction(0, Opcode.OUTPUT)],
+            entry_tokens=[make_token(0, 0, 0, 0, 1)],
+            name="t",
+        )
+        report = analyze_graph(graph, only=["G999"])
+        assert len(report) == 1
+    finally:
+        del GRAPH_RULES["G999"]

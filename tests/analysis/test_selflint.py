@@ -1,0 +1,155 @@
+"""The determinism D-rules: detection, waivers, and the repo gate."""
+
+import textwrap
+
+from repro.analysis.selflint import lint_self, lint_source
+from repro.analysis import Severity
+
+
+def diags(code: str):
+    return lint_source(textwrap.dedent(code), "sample.py")
+
+
+def rules(code: str):
+    return [d.rule for d in diags(code)]
+
+
+# ----------------------------------------------------------------------
+# D001: wall-clock reads
+# ----------------------------------------------------------------------
+def test_d001_flags_time_time():
+    found = diags("""
+        import time
+        def stamp():
+            return time.time()
+    """)
+    assert [d.rule for d in found] == ["D001"]
+    assert found[0].severity is Severity.ERROR
+    assert found[0].location == "L4"
+
+
+def test_d001_flags_datetime_now():
+    assert rules("""
+        from datetime import datetime
+        when = datetime.now()
+    """) == ["D001"]
+
+
+def test_d001_allows_monotonic():
+    assert rules("""
+        import time
+        start = time.monotonic()
+        dur = time.perf_counter()
+    """) == []
+
+
+def test_waiver_comment_silences_inline_and_preceding():
+    assert rules("""
+        import time
+        a = time.time()  # selflint: allow(D001) human-facing stamp
+        # selflint: allow(D001) forensic only
+        b = time.time()
+    """) == []
+
+
+def test_waiver_names_the_rule_it_silences():
+    # A D002 waiver does not excuse a D001 hazard.
+    assert rules("""
+        import time
+        a = time.time()  # selflint: allow(D002)
+    """) == ["D001"]
+
+
+# ----------------------------------------------------------------------
+# D002: unseeded randomness
+# ----------------------------------------------------------------------
+def test_d002_flags_global_random_calls():
+    assert rules("""
+        import random
+        x = random.random()
+        y = random.randint(0, 9)
+    """) == ["D002", "D002"]
+
+
+def test_d002_flags_entropy_seeded_random_instance():
+    assert rules("""
+        import random
+        rng = random.Random()
+    """) == ["D002"]
+
+
+def test_d002_allows_seeded_random_instance():
+    assert rules("""
+        import random
+        rng = random.Random(42)
+        v = rng.random()
+    """) == []
+
+
+# ----------------------------------------------------------------------
+# D003: set iteration feeding ordered output
+# ----------------------------------------------------------------------
+def test_d003_flags_for_over_set_call():
+    assert rules("""
+        def emit(items):
+            for x in set(items):
+                print(x)
+    """) == ["D003"]
+
+
+def test_d003_flags_list_comprehension_over_set():
+    assert rules("""
+        def emit(items):
+            return [x for x in {i.name for i in items}]
+    """) == ["D003"]
+
+
+def test_d003_flags_join_over_set():
+    assert rules("""
+        def emit(items):
+            return ", ".join({str(i) for i in items})
+    """) == ["D003"]
+
+
+def test_d003_allows_sorted_set():
+    assert rules("""
+        def emit(items):
+            for x in sorted(set(items)):
+                print(x)
+            return [y for y in sorted({i for i in items})]
+    """) == []
+
+
+def test_d003_allows_order_insensitive_consumers():
+    assert rules("""
+        def stats(items):
+            return len({i for i in items}), sum(set(items))
+    """) == []
+
+
+# ----------------------------------------------------------------------
+# D004: unsorted filesystem listings
+# ----------------------------------------------------------------------
+def test_d004_flags_bare_listdir():
+    found = diags("""
+        import os
+        names = os.listdir(".")
+    """)
+    assert [d.rule for d in found] == ["D004"]
+    assert found[0].severity is Severity.WARNING
+
+
+def test_d004_allows_sorted_listing():
+    assert rules("""
+        import os
+        names = sorted(os.listdir("."))
+    """) == []
+
+
+# ----------------------------------------------------------------------
+# The gate: the shipped source tree itself is clean
+# ----------------------------------------------------------------------
+def test_repro_source_tree_is_deterministic():
+    report = lint_self()
+    offenders = [d.render() for d in report.sorted()]
+    assert not offenders, "\n".join(offenders)
