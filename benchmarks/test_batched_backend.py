@@ -1,0 +1,134 @@
+"""Batched-backend acceptance benchmark.
+
+The tentpole contract of ``repro.sim.batched``: at batch width >= 8,
+a design-space sweep through the default process-isolated supervisor
+must sustain at least 2x the plain backend's sweep-level cells/sec --
+while every ledger record stays bit-identical.  The 2x comes from two
+compounding effects, both measured here end to end rather than in a
+microbench: the lockstep drain's specialised hot path, and one worker
+fork per batch group instead of one per cell.
+
+As with the engine-overhaul acceptance test, the baseline is timed
+live on this machine (a recorded number would gate on hardware, not
+code), and timing is interleaved best-of-N so both arms see the same
+cache, frequency, and interference conditions.  Measurements land in
+``BENCH_batched.json`` for the CI artifact upload.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.design.space import viable_designs
+from repro.harness import CellSpec, RunSupervisor
+from repro.harness.sweep import sweep_cells
+from repro.sim.compile import get_compiled
+
+#: Where the acceptance measurements are recorded (CI artifact).
+BENCH_BATCHED_JSON = Path(__file__).resolve().parents[1] / \
+    "BENCH_batched.json"
+
+#: A 16-design slice of the viable space (one full batch group at the
+#: default width): a spread of cluster counts, matching geometries,
+#: and L2 capacities, so the lockstep drain sees heterogeneous cells,
+#: not sixteen copies of the golden config.
+DESIGN_IDX = (39, 44, 1, 46, 0, 40, 4, 2, 48, 34, 32, 11, 30, 45, 41, 43)
+WORKLOAD = "djpeg"
+BATCH_WIDTH = 16
+ROUNDS = 3
+
+#: Fields that legitimately differ between backends or runs; the
+#: per-record ``metrics`` block carries wall-clock-derived values and
+#: compile-cache counters, so it is compared key-filtered too.
+_VOLATILE_RECORD_KEYS = frozenset(
+    {"wall_s", "ts", "seq", "crc", "version", "backend",
+     "backend_fallback"}
+)
+_VOLATILE_METRIC_KEYS = frozenset({"wall_s", "events_per_s"})
+
+
+def _stripped(record: dict) -> dict:
+    out = {k: v for k, v in record.items()
+           if k not in _VOLATILE_RECORD_KEYS}
+    metrics = out.get("metrics")
+    if isinstance(metrics, dict):
+        out["metrics"] = {
+            k: v for k, v in metrics.items()
+            if k not in _VOLATILE_METRIC_KEYS
+            and not k.startswith("compile_cache_")
+        }
+    return out
+
+
+def test_batched_sweep_speedup_acceptance():
+    """Tentpole acceptance: >= 2x sweep-level cells/sec at batch
+    width >= 8, bit-identical ledger records."""
+    designs = viable_designs()
+    specs = [
+        CellSpec(config=designs[i].config, workload=WORKLOAD,
+                 scale="tiny", max_cycles=200_000)
+        for i in DESIGN_IDX
+    ]
+    # Warm the parent's compile cache so every forked worker -- plain
+    # and batched alike -- inherits the decoded workload through
+    # copy-on-write instead of re-compiling it.
+    get_compiled(WORKLOAD, scale="tiny", threads=None)
+
+    def sweep(backend: str) -> tuple[dict, float]:
+        supervisor = RunSupervisor(
+            backend=backend, batch_width=BATCH_WIDTH, timeout_s=120
+        )
+        started = time.perf_counter()
+        records, _ = sweep_cells(
+            specs, supervisor=supervisor, prevalidate=False
+        )
+        return records, time.perf_counter() - started
+
+    # One unmeasured pass per arm heats the page cache and the
+    # interpreter; then interleaved best-of-N wall time (the sweep
+    # forks workers, so CPU time of this process would miss the cost
+    # being amortised).
+    sweep("plain")
+    sweep("batched")
+    best: dict[str, tuple[dict, float]] = {}
+    for _ in range(ROUNDS):
+        for backend in ("plain", "batched"):
+            records, wall_s = sweep(backend)
+            if backend not in best or wall_s < best[backend][1]:
+                best[backend] = (records, wall_s)
+
+    plain_records, plain_s = best["plain"]
+    batched_records, batched_s = best["batched"]
+
+    # Identity first: the speedup must change no recorded result.
+    assert {h: _stripped(r) for h, r in batched_records.items()} \
+        == {h: _stripped(r) for h, r in plain_records.items()}
+    assert all(r.get("backend") == "batched"
+               for r in batched_records.values())
+
+    cells = len(specs)
+    speedup = plain_s / batched_s
+    payload = {
+        "workload": WORKLOAD,
+        "scale": "tiny",
+        "cells": cells,
+        "batch_width": BATCH_WIDTH,
+        "isolation": "process",
+        "rounds": ROUNDS,
+        "plain_s": round(plain_s, 6),
+        "batched_s": round(batched_s, 6),
+        "plain_cells_per_s": round(cells / plain_s, 2),
+        "batched_cells_per_s": round(cells / batched_s, 2),
+        "speedup": round(speedup, 3),
+        "records_identical": True,
+    }
+    BENCH_BATCHED_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\n===== BENCH_batched =====\n"
+          f"{json.dumps(payload, indent=2)}\n")
+
+    assert speedup >= 2.0, (
+        f"sweep-level speedup {speedup:.2f}x is below the 2x "
+        f"acceptance floor (plain {cells / plain_s:.1f} cells/s, "
+        f"batched {cells / batched_s:.1f} cells/s at width "
+        f"{BATCH_WIDTH})"
+    )

@@ -32,6 +32,8 @@ from typing import Optional, Sequence
 
 from .area import breakdown, timing_report
 from .core import WaveScalarConfig, WaveScalarProcessor
+from .sim.backends import BACKENDS, DEFAULT_BACKEND
+from .harness.supervisor import DEFAULT_BATCH_WIDTH
 from .core.experiments import evaluate_design_space
 from .design import pareto_front, viable_designs
 from .report import scatter
@@ -93,8 +95,10 @@ def cmd_run(args: argparse.Namespace) -> int:
     config = _config_from(args)
     workload = get(args.workload)
     threads = args.threads if workload.multithreaded else None
-    proc = WaveScalarProcessor(config)
+    proc = WaveScalarProcessor(config, backend=args.backend)
     print(proc.describe())
+    if args.backend != "plain":
+        print(f"engine backend: {args.backend}")
     sanitizer = None
     if args.sanitize:
         from .analysis import RuntimeSanitizer
@@ -115,6 +119,10 @@ def cmd_run(args: argparse.Namespace) -> int:
         k=args.k, seed=args.seed, sanitizer=sanitizer,
         strict=not args.sanitize, trace=trace, profile=profile,
     )
+    if proc.last_backend_fallback:
+        print(f"note: batched backend fell back to plain "
+              f"({proc.last_backend_fallback}); results are "
+              f"bit-identical either way")
     print(result.summary())
     fr = result.stats.traffic_fractions()
     print(
@@ -323,7 +331,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         threaded=threaded, ledger_path=args.ledger, resume=args.resume,
         timeout_s=args.timeout_s, isolation=isolation, jobs=jobs,
         progress=progress, failure_budget=args.failure_budget,
-        prune=args.prune,
+        prune=args.prune, backend=args.backend,
+        batch_width=args.batch_width,
     )
     if args.save:
         from .design import dump_points
@@ -570,6 +579,67 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _bench_lines(doc: dict) -> list[str]:
+    """Flatten one benchmark document into display lines: top-level
+    scalars as ``key = value``, nested dicts as one ``key: k=v, ...``
+    line each, lists by length only.  Benchmark schemas differ file to
+    file (that is the drift this command absorbs), so the rendering is
+    deliberately schema-agnostic."""
+    def fmt(value):
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    lines = []
+    for key, value in doc.items():
+        if isinstance(value, dict):
+            inner = ", ".join(
+                f"{k}={fmt(v)}" for k, v in value.items()
+                if isinstance(v, (int, float, str, bool))
+            )
+            if inner:
+                lines.append(f"{key}: {inner}")
+        elif isinstance(value, (int, float, str, bool)):
+            lines.append(f"{key} = {fmt(value)}")
+        elif isinstance(value, list):
+            lines.append(f"{key}: [{len(value)} item(s)]")
+    return lines
+
+
+def cmd_bench_summary(args: argparse.Namespace) -> int:
+    """One screen over every ``BENCH_*.json`` benchmark artifact.
+
+    Benchmarks historically scattered their JSON between the repo root
+    (``BENCH_engine.json``, ``BENCH_chaos.json``, ...) and
+    ``benchmarks/results/``; this scans both so nothing drifts out of
+    view, mirroring the CI upload glob.
+    """
+    import json
+    from pathlib import Path
+
+    root = Path(args.root)
+    paths = sorted(
+        set(root.glob("BENCH_*.json"))
+        | set((root / "benchmarks" / "results").glob("BENCH_*.json"))
+    )
+    if not paths:
+        print(f"no BENCH_*.json found under {root}", file=sys.stderr)
+        return 2
+    for path in paths:
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"{path}: unreadable ({exc})")
+            continue
+        print(f"{path}:")
+        if isinstance(doc, dict):
+            for line in _bench_lines(doc):
+                print(f"  {line}")
+        else:
+            print(f"  [{len(doc)} top-level item(s)]")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -602,6 +672,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="attribute hot-loop time to pipeline "
                             "phases (input/match/dispatch/execute/"
                             "deliver) and print the table")
+    p_run.add_argument("--backend", default=DEFAULT_BACKEND,
+                       choices=BACKENDS,
+                       help="engine backend (bit-identical results; "
+                            "'batched' pays off in sweeps, not single "
+                            "runs, and falls back to plain when a "
+                            "trace/sanitizer/profile is attached)")
 
     p_area = sub.add_parser("area", help="area/timing breakdown")
     _add_config_args(p_area)
@@ -650,6 +726,17 @@ def build_parser() -> argparse.ArgumentParser:
                               "ledger records; the Pareto frontier is "
                               "bit-identical to an unpruned sweep; "
                               "forces serial execution)")
+    p_sweep.add_argument("--backend", default=DEFAULT_BACKEND,
+                         choices=BACKENDS,
+                         help="engine backend; 'batched' lockstep-"
+                              "executes groups of same-workload cells "
+                              "for sweep-level throughput, with "
+                              "records bit-identical to 'plain'")
+    p_sweep.add_argument("--batch-width", type=int,
+                         default=DEFAULT_BATCH_WIDTH,
+                         dest="batch_width", metavar="N",
+                         help="cells per lockstep batch group "
+                              "(batched backend only)")
 
     p_analyze = sub.add_parser(
         "analyze", help="static dataflow analysis: token-occupancy "
@@ -828,6 +915,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_ledger.add_argument("--json", action="store_true",
                           help="emit the verify audit as JSON")
 
+    p_bench = sub.add_parser(
+        "bench-summary",
+        help="one-screen summary of every BENCH_*.json benchmark "
+             "artifact (repo root and benchmarks/results)",
+    )
+    p_bench.add_argument("--root", default=".",
+                         help="directory to scan (default: cwd)")
+
     return parser
 
 
@@ -846,6 +941,7 @@ COMMANDS = {
     "tune": cmd_tune,
     "chaos": cmd_chaos,
     "ledger": cmd_ledger,
+    "bench-summary": cmd_bench_summary,
 }
 
 

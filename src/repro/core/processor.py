@@ -20,6 +20,11 @@ from ..isa.graph import DataflowGraph
 from ..lang.kbound import set_k_bound
 from ..place.placement import Placement
 from ..place.snake import place
+from ..sim.backends import (
+    DEFAULT_BACKEND,
+    batch_unsupported_reason,
+    validate_backend,
+)
 from ..sim.engine import Engine
 from ..workloads.base import Scale, Workload
 from .config import WaveScalarConfig
@@ -27,17 +32,33 @@ from .results import SimulationResult
 
 
 class WaveScalarProcessor:
-    """A configured WaveScalar processor that can execute programs."""
+    """A configured WaveScalar processor that can execute programs.
+
+    ``backend`` selects the engine driving :meth:`run` (see
+    :mod:`repro.sim.backends`): ``plain`` (default), ``profiled``
+    (auto-attaches a :class:`~repro.obs.PhaseProfile` when the caller
+    did not pass one), or ``batched`` (the lockstep backend at width 1
+    -- single runs gain nothing from it, but the selection point keeps
+    all three engines interchangeable end to end).  Every backend is
+    bit-identical on simulated results; a cell the batched backend
+    cannot take (fault plan, trace, sanitizer, profile attached) falls
+    back to ``plain``, recorded on :attr:`last_backend_fallback`.
+    """
 
     def __init__(
         self,
         config: WaveScalarConfig,
         max_cycles: int = 20_000_000,
         max_events: int = 200_000_000,
+        backend: str = DEFAULT_BACKEND,
     ) -> None:
         self.config = config
         self.max_cycles = max_cycles
         self.max_events = max_events
+        self.backend = validate_backend(backend)
+        #: Why the last :meth:`run` under ``backend="batched"`` fell
+        #: back to the plain engine (``None``: no fallback happened).
+        self.last_backend_fallback: Optional[str] = None
         self._area = breakdown(config)
         self._timing = timing_report(config)
 
@@ -97,6 +118,10 @@ class WaveScalarProcessor:
             graph = set_k_bound(graph, k)
         if placement is None:
             placement = self.place(graph)
+        if self.backend == "profiled" and profile is None:
+            from ..obs import PhaseProfile
+
+            profile = PhaseProfile()
         engine = Engine(
             graph, self.config, placement, max_cycles=self.max_cycles,
             max_events=self.max_events, compiled=compiled,
@@ -109,7 +134,21 @@ class WaveScalarProcessor:
             engine.trace = trace
         if profile is not None:
             engine.profile = profile
-        stats = engine.run(strict=strict)
+        self.last_backend_fallback = None
+        if self.backend == "batched":
+            self.last_backend_fallback = batch_unsupported_reason(
+                faults=faults, trace=trace, sanitizer=sanitizer,
+                profile=profile,
+            )
+        if self.backend == "batched" and self.last_backend_fallback is None:
+            from ..sim.batched import BatchedEngine
+
+            outcome = BatchedEngine([engine]).run(strict=strict)[0]
+            if not outcome.ok:
+                raise outcome.error
+            stats = outcome.stats
+        else:
+            stats = engine.run(strict=strict)
         return SimulationResult(
             program=graph.name,
             config=self.config,

@@ -175,6 +175,23 @@ def static_rejection(spec: CellSpec) -> Optional[list]:
     return report.errors if report.has_errors else None
 
 
+def _batch_group_key(spec: CellSpec) -> tuple:
+    """The lockstep grouping key: cells sharing it are built from the
+    same compiled workload ``(workload, scale, threads, k, seed)``, so
+    one batch group compiles once and lockstep-executes many
+    configurations.  Fault-plan cells are segregated by the trailing
+    flag (``run_batch`` routes each of them down its serial fallback
+    path individually)."""
+    return (spec.workload, spec.scale, spec.threads, spec.k, spec.seed,
+            spec.faults is None)
+
+
+def _batching(supervisor) -> bool:
+    """Whether this campaign groups cells into lockstep batches."""
+    return (getattr(supervisor, "backend", None) == "batched"
+            and getattr(supervisor, "batch_width", 1) > 1)
+
+
 @dataclass
 class Lane:
     """One sequential chain of cells (a ``(design, workload)`` pair).
@@ -218,32 +235,52 @@ def _failed_result(spec: CellSpec, failure_class: str,
 
 
 def _worker_main(worker_id: int, inbox, results, supervisor) -> None:
-    """Long-lived worker loop: pull a spec, run it through the
-    supervisor's full policy, ship one ledger record back."""
+    """Long-lived worker loop: pull a list of specs (one cell, or one
+    lockstep batch group), run it through the supervisor's full
+    policy, ship the ledger records back in one put.
+
+    The inbox protocol is uniformly ``list[CellSpec]``: a single-cell
+    list takes the historical :meth:`RunSupervisor.run` path, a longer
+    one goes through :meth:`RunSupervisor.run_batch`.  Results travel
+    as ``(worker_id, list[record])`` either way, so the driver's drain
+    loop never cares which path produced them.
+    """
     driver_pid = os.getppid()
     while True:
         try:
-            spec = inbox.get(timeout=_ORPHAN_POLL_S)
+            specs = inbox.get(timeout=_ORPHAN_POLL_S)
         except queue.Empty:
             if os.getppid() != driver_pid:
                 return  # driver died; don't leak
             continue
-        if spec is None:
+        if specs is None:
             return
         try:
-            result = supervisor.run(spec)
-            record = Ledger.record_for(spec, result)
+            if len(specs) == 1:
+                spec = specs[0]
+                result = supervisor.run(spec)
+                records = [Ledger.record_for(spec, result)]
+            else:
+                verdicts = supervisor.run_batch(specs)
+                records = [
+                    Ledger.record_for(spec, result)
+                    for spec, result in zip(specs, verdicts)
+                ]
         except Exception as exc:  # noqa: BLE001 - classify, keep going
-            record = Ledger.record_for(spec, _failed_result(
-                spec, type(exc).__name__, f"{type(exc).__name__}: {exc}",
-            ))
+            records = [
+                Ledger.record_for(spec, _failed_result(
+                    spec, type(exc).__name__,
+                    f"{type(exc).__name__}: {exc}",
+                ))
+                for spec in specs
+            ]
         plan = getattr(supervisor, "chaos", None)
-        if plan is not None and plan.selected(
-                "result_delay", spec.identity_hash()):
+        if plan is not None and len(specs) == 1 and plan.selected(
+                "result_delay", specs[0].identity_hash()):
             # Late verdict delivery: the driver must tolerate results
             # arriving long after dispatch (and after reap checks).
             time.sleep(plan.delay_s)
-        results.put((worker_id, record))
+        results.put((worker_id, records))
 
 
 # ----------------------------------------------------------------------
@@ -285,15 +322,20 @@ class _ParallelDriver:
         self.results = self.ctx.Queue()
         self.workers: dict[int, _Worker] = {}
         self.idle: deque[int] = deque()
-        self.assigned: dict[int, str] = {}  # worker id -> cell hash
+        # worker id -> cell hashes of its in-flight dispatch (one for
+        # a plain cell, several for a lockstep batch group).
+        self.assigned: dict[int, list[str]] = {}
         self.inflight: dict[str, tuple[Lane, CellSpec]] = {}
         self.waiting: dict[str, list[Lane]] = {}  # duplicate-cell parks
         self.ready: deque[Lane] = deque(lanes)
+        self.batching = _batching(supervisor)
         self._next_wid = 0
         # Scheduler observability (see repro.obs): dispatch counts and
         # busy spans per worker, pool churn, and queue-depth high
         # water marks, folded into report.metrics["scheduler"].
         self._dispatched = 0
+        self._batch_groups = 0
+        self._batched_cells = 0
         self._busy_s = 0.0
         self._assigned_at: dict[int, float] = {}
         self._spawned = 0
@@ -371,32 +413,70 @@ class _ParallelDriver:
                     continue
             return cell, spec
 
-    def _pump(self) -> None:
-        """Keep every idle worker fed while ready lanes remain."""
-        if len(self.ready) > self._max_ready:
-            self._max_ready = len(self.ready)
-        while self.idle and self.ready and not self.aborted:
+    def _next_group(self) -> list[tuple[str, CellSpec]]:
+        """Pop ready lanes into one lockstep batch group: up to
+        ``batch_width`` cells sharing the compiled-workload group key.
+        A lane whose next cell does not match the group's key is
+        deferred back to the ready queue for a later group (appended
+        *after* the group is built, so a mixed ready queue can never
+        spin the pump).  Cells are staged into ``inflight`` as they
+        join, so a duplicate cell later in the same pump parks in
+        ``waiting`` exactly as it would serially."""
+        group: list[tuple[str, CellSpec]] = []
+        deferred: list[Lane] = []
+        key = None
+        while self.ready and len(group) < self.supervisor.batch_width:
             lane = self.ready.popleft()
             dispatch = self._next_dispatch(lane)
             if dispatch is None:
                 continue
             cell, spec = dispatch
-            wid = self.idle.popleft()
+            lane_key = _batch_group_key(spec)
+            if key is None:
+                key = lane_key
+            elif lane_key != key:
+                deferred.append(lane)
+                continue
             self.inflight[cell] = (lane, spec)
-            self.assigned[wid] = cell
-            self.workers[wid].inbox.put(spec)
-            self._dispatched += 1
+            group.append((cell, spec))
+        self.ready.extend(deferred)
+        return group
+
+    def _pump(self) -> None:
+        """Keep every idle worker fed while ready lanes remain."""
+        if len(self.ready) > self._max_ready:
+            self._max_ready = len(self.ready)
+        while self.idle and self.ready and not self.aborted:
+            if self.batching:
+                group = self._next_group()
+                if not group:
+                    continue
+            else:
+                lane = self.ready.popleft()
+                dispatch = self._next_dispatch(lane)
+                if dispatch is None:
+                    continue
+                cell, spec = dispatch
+                self.inflight[cell] = (lane, spec)
+                group = [(cell, spec)]
+            wid = self.idle.popleft()
+            self.assigned[wid] = [cell for cell, _ in group]
+            self.workers[wid].inbox.put([spec for _, spec in group])
+            self._dispatched += len(group)
+            if len(group) > 1:
+                self._batch_groups += 1
+                self._batched_cells += len(group)
             self._assigned_at[wid] = time.monotonic()
             if self.chaos is not None and \
-                    self.chaos.kill_worker(spec.identity_hash()):
+                    self.chaos.kill_worker(group[0][1].identity_hash()):
                 # Injected scheduler-worker death right after dispatch;
                 # _reap must turn this into a crash retry, not a hang.
                 self.workers[wid].process.kill()
         if len(self.inflight) > self._max_inflight:
             self._max_inflight = len(self.inflight)
 
-    def _drain(self, block: bool) -> list[tuple[int, dict]]:
-        batch: list[tuple[int, dict]] = []
+    def _drain(self, block: bool) -> list[tuple[int, list[dict]]]:
+        batch: list[tuple[int, list[dict]]] = []
         if block:
             try:
                 batch.append(self.results.get(timeout=self.poll_s))
@@ -462,19 +542,24 @@ class _ParallelDriver:
             return poisoned, False
         return record, True
 
-    def _commit(self, batch: list[tuple[int, dict]]) -> None:
+    def _commit(self, batch: list[tuple[int, list[dict]]]) -> None:
         staged: list[tuple[str, dict, bool]] = []
-        for wid, record in batch:
-            cell = self.assigned.pop(wid, None)
+        for wid, records in batch:
+            cells = self.assigned.pop(wid, None)
             assigned_at = self._assigned_at.pop(wid, None)
             if assigned_at is not None:
                 self._busy_s += time.monotonic() - assigned_at
             if wid in self.workers:
                 self.idle.append(wid)
-            if cell is None or cell not in self.inflight:
+            if cells is None:
                 continue  # late result from an already-reaped worker
-            record, retry = self._breaker_verdict(cell, record)
-            staged.append((cell, record, retry))
+            expected = set(cells)
+            for record in records:
+                cell = record.get("hash")
+                if cell not in expected or cell not in self.inflight:
+                    continue  # late record from a reaped dispatch
+                record, retry = self._breaker_verdict(cell, record)
+                staged.append((cell, record, retry))
         durable = [record for _, record, retry in staged if not retry]
         if durable and self.ledger is not None:
             self.ledger.append_many(durable)
@@ -513,11 +598,13 @@ class _ParallelDriver:
                 self.idle.remove(wid)
             except ValueError:
                 pass
-            cell = self.assigned.pop(wid, None)
+            cells = self.assigned.pop(wid, None) or []
             assigned_at = self._assigned_at.pop(wid, None)
             if assigned_at is not None:
                 self._busy_s += time.monotonic() - assigned_at
-            if cell is not None and cell in self.inflight:
+            for cell in cells:
+                if cell not in self.inflight:
+                    continue
                 lane, spec = self.inflight[cell]
                 record = Ledger.record_for(spec, _failed_result(
                     spec, WorkerCrash.__name__,
@@ -562,6 +649,8 @@ class _ParallelDriver:
             "worker_crash_retries": self.breaker.crash_retries,
             "breaker_trips": self.breaker.trips,
             "backoff_s": round(self.backoff.total_s, 3),
+            "batch_groups": self._batch_groups,
+            "batched_cells": self._batched_cells,
         }
 
     # -- main loop ------------------------------------------------------
@@ -674,6 +763,175 @@ def _execute_serial(lanes, supervisor, ledger, done, report, progress,
             "worker_crash_retries": breaker.crash_retries,
             "breaker_trips": breaker.trips,
             "backoff_s": round(backoff.total_s, 3),
+            "batch_groups": 0,
+            "batched_cells": 0,
+        }
+
+
+def _crash_retry(supervisor, spec, result, breaker, backoff):
+    """The serial path's crash policy, applied to an initial verdict:
+    a ``WorkerCrash`` is retried (with jittered backoff) until it
+    stops crashing or the circuit breaker trips to ``poisoned`` --
+    exactly the loop :func:`_execute_serial` runs inline."""
+    while (result.status == "failed"
+            and result.failure_class == WorkerCrash.__name__):
+        if breaker.record_crash(spec.identity_hash()):
+            return _poisoned_result(
+                spec, breaker.threshold, result.failure_detail or "",
+            )
+        backoff.sleep()
+        result = supervisor.run(spec)
+    breaker.reset(spec.identity_hash())
+    backoff.reset()
+    return result
+
+
+def _execute_serial_batched(lanes, supervisor, ledger, done, report,
+                            progress, prevalidate,
+                            failure_budget=None) -> None:
+    """The ``jobs=1`` loop for the batched backend: each round pops
+    one dispatchable cell per active lane, groups them by compiled-
+    workload signature, chunks each group to ``batch_width``, and runs
+    every chunk through :meth:`RunSupervisor.run_batch`.
+
+    Driver-side policy matches :func:`_execute_serial` cell for cell:
+    resume hits and pre-validation rejects are resolved before a cell
+    joins a group, duplicate cells park behind the first lane claiming
+    them, crash verdicts go through the circuit breaker (retry with
+    backoff, ``poisoned`` at the threshold), and the failure-rate
+    budget can abort mid-campaign.  Chunk records land through
+    :meth:`Ledger.append_many`, one fsync per chunk.
+    """
+    started = time.monotonic()
+    busy_s = 0.0
+    dispatched = 0
+    batch_groups = 0
+    batched_cells = 0
+    breaker = CircuitBreaker()
+    backoff = RespawnBackoff(0)
+    aborted = False
+    active: deque[Lane] = deque(
+        lane for lane in lanes if not lane.exhausted
+    )
+    while active and not aborted:
+        round_lanes = list(active)
+        active.clear()
+        heads: list[tuple[str, CellSpec, Lane]] = []
+        claimed: set[str] = set()
+        parked: dict[str, list[Lane]] = {}
+        for lane in round_lanes:
+            # Resolve everything the driver can decide itself.
+            while True:
+                spec = lane.next_spec()
+                if spec is None:
+                    break
+                cell = spec.cell_hash()
+                record = done.get(cell)
+                if record is not None:
+                    report.skipped += 1
+                    if progress is not None:
+                        progress(spec, record)
+                    lane.advance(record)
+                    continue
+                rejected = (static_rejection(spec) if prevalidate
+                            else None)
+                if rejected is not None:
+                    record = Ledger.record_invalid(spec, rejected)
+                    report.invalid += 1
+                    if ledger is not None:
+                        ledger.append(record)
+                    done[cell] = record
+                    if progress is not None:
+                        progress(spec, record)
+                    lane.advance(record)
+                    continue
+                break
+            if spec is None:
+                continue  # lane exhausted driver-side
+            if cell in claimed:
+                parked.setdefault(cell, []).append(lane)
+                continue
+            claimed.add(cell)
+            heads.append((cell, spec, lane))
+        groups: dict[tuple, list[tuple[str, CellSpec, Lane]]] = {}
+        for head in heads:
+            groups.setdefault(_batch_group_key(head[1]), []).append(head)
+        for members in groups.values():
+            if aborted:
+                break
+            width = supervisor.batch_width
+            for start in range(0, len(members), width):
+                if aborted:
+                    break
+                chunk = members[start:start + width]
+                dispatched += len(chunk)
+                if len(chunk) > 1:
+                    batch_groups += 1
+                    batched_cells += len(chunk)
+                attempt_started = time.monotonic()
+                verdicts = supervisor.run_batch(
+                    [spec for _, spec, _ in chunk]
+                )
+                verdicts = [
+                    _crash_retry(supervisor, spec, verdict, breaker,
+                                 backoff)
+                    for (_, spec, _), verdict in zip(chunk, verdicts)
+                ]
+                busy_s += time.monotonic() - attempt_started
+                landed = []
+                for (cell, spec, lane), result in zip(chunk, verdicts):
+                    record = Ledger.record_for(spec, result)
+                    report.retried += result.retries
+                    if result.status == "ok":
+                        report.completed += 1
+                    elif result.status == "poisoned":
+                        report.poisoned += 1
+                    else:
+                        report.failed += 1
+                    landed.append((cell, spec, lane, record))
+                if ledger is not None:
+                    ledger.append_many(
+                        [record for _, _, _, record in landed]
+                    )
+                for cell, spec, lane, record in landed:
+                    done[cell] = record
+                    if progress is not None:
+                        progress(spec, record)
+                    lane.advance(record)
+                    for waiter in parked.pop(cell, ()):
+                        report.skipped += 1
+                        if progress is not None:
+                            progress(waiter.next_spec(), record)
+                        waiter.advance(record)
+                abort = _over_budget(report, failure_budget)
+                if abort is not None:
+                    report.aborted = abort
+                    aborted = True
+        active.extend(
+            lane for lane in round_lanes if not lane.exhausted
+        )
+        if aborted:
+            break
+    if hasattr(report, "metrics"):
+        elapsed = time.monotonic() - started
+        report.metrics["scheduler"] = {
+            "mode": "serial",
+            "workers": 1,
+            "workers_spawned": 0,
+            "workers_reaped": 0,
+            "dispatched": dispatched,
+            "busy_s": round(busy_s, 3),
+            "wall_s": round(elapsed, 3),
+            "utilization": round(busy_s / elapsed, 4)
+            if elapsed > 0 else 0.0,
+            "max_ready_lanes": len(lanes),
+            "max_inflight": 1 if dispatched else 0,
+            "worker_respawns": 0,
+            "worker_crash_retries": breaker.crash_retries,
+            "breaker_trips": breaker.trips,
+            "backoff_s": round(backoff.total_s, 3),
+            "batch_groups": batch_groups,
+            "batched_cells": batched_cells,
         }
 
 
@@ -719,9 +977,22 @@ def execute_lanes(
     if not jobs:
         jobs = os.cpu_count() or 1
     jobs = min(jobs, len(lanes)) if lanes else 0
+    if _batching(supervisor) and chaos is not None:
+        # Mirrors the supervisor's own chaos x batched rejection: a
+        # driver-side controller implies a chaos campaign, which must
+        # run on the plain backend.
+        raise ValueError(
+            "chaos injection does not compose with the batched backend"
+        )
     if jobs <= 1:
-        _execute_serial(lanes, supervisor, ledger, done, report,
-                        progress, prevalidate, chaos, failure_budget)
+        if _batching(supervisor):
+            _execute_serial_batched(lanes, supervisor, ledger, done,
+                                    report, progress, prevalidate,
+                                    failure_budget)
+        else:
+            _execute_serial(lanes, supervisor, ledger, done, report,
+                            progress, prevalidate, chaos,
+                            failure_budget)
     else:
         _ParallelDriver(
             lanes, jobs, supervisor, ledger, done, report, progress,

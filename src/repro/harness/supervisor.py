@@ -21,6 +21,11 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..sim.backends import (
+    DEFAULT_BACKEND,
+    batch_unsupported_reason,
+    validate_backend,
+)
 from ..sim.failures import (
     SimulationDeadlock,
     WatchdogTimeout,
@@ -33,8 +38,24 @@ from .spec import CellSpec
 #: budgeted tiny/small-scale cell (seconds).
 DEFAULT_TIMEOUT_S = 300.0
 
+#: Default cells per lockstep batch group.  Past ~16 the amortized
+#: per-cell overhead flattens while a single slow cell holds ever
+#: more siblings at the lockstep ceiling; the acceptance benchmark
+#: (``benchmarks/test_batched_backend.py``) gates at width >= 8.
+DEFAULT_BATCH_WIDTH = 16
 
-def execute_cell(spec: CellSpec) -> dict:
+
+def _cache_delta(before: dict, after: dict) -> dict:
+    """Compile-cache activity attributable to one cell attempt."""
+    return {
+        "compile_cache_hits": after["hits"] - before["hits"],
+        "compile_cache_misses": after["misses"] - before["misses"],
+        "compile_cache_evictions":
+            after["evictions"] - before["evictions"],
+    }
+
+
+def execute_cell(spec: CellSpec, backend: str = DEFAULT_BACKEND) -> dict:
     """Run one cell to completion in the current process.
 
     Returns the flat, JSON-serialisable success payload; failures
@@ -44,25 +65,32 @@ def execute_cell(spec: CellSpec) -> dict:
     determinism guarantees) plus the deterministic simulation counters
     (events, cycles, dispatches, messages) that ``repro stats`` and
     :class:`~repro.harness.sweep.SweepReport` aggregate.
+
+    ``backend`` selects the engine (see :mod:`repro.sim.backends`);
+    every backend produces bit-identical simulated results, so the
+    payload differs only in its wall-clock fields.
     """
     from ..core.processor import WaveScalarProcessor
     from ..obs.metrics import cell_metrics
-    from ..sim.compile import get_compiled
+    from ..sim.compile import cache_info, get_compiled
     from ..workloads.registry import get
 
     workload = get(spec.workload)
     threads = spec.threads if workload.multithreaded else None
     proc = WaveScalarProcessor(
         spec.config, max_cycles=spec.max_cycles,
-        max_events=spec.max_events,
+        max_events=spec.max_events, backend=backend,
     )
     started = time.perf_counter()
+    cache_before = cache_info()
     compiled = get_compiled(
         spec.workload, scale=spec.scale, threads=threads, k=spec.k,
         seed=spec.seed,
     )
     result = proc.run_compiled(compiled, faults=spec.faults)
     wall_s = time.perf_counter() - started
+    metrics = cell_metrics(result.stats, wall_s)
+    metrics.update(_cache_delta(cache_before, cache_info()))
     return {
         "status": "ok",
         "aipc": result.aipc,
@@ -71,11 +99,126 @@ def execute_cell(spec: CellSpec) -> dict:
         "area_mm2": result.area_mm2,
         "dynamic_instructions": result.stats.dynamic_instructions,
         "alpha_instructions": result.stats.alpha_instructions,
-        "metrics": cell_metrics(result.stats, wall_s),
+        "metrics": metrics,
     }
 
 
-def _child_main(spec: CellSpec, channel, sabotage=None) -> None:
+def execute_batch(specs: list[CellSpec]) -> list[dict]:
+    """Run one batch group of cells through the lockstep engine in the
+    current process, returning one payload per cell in order.
+
+    Every spec must share the batched backend's *group key* -- the
+    compiled-workload signature ``(workload, scale, threads, k,
+    seed)`` -- and carry no fault plan; the scheduler's grouping and
+    :meth:`RunSupervisor.run_batch` guarantee both.  Per-cell payloads
+    are shaped exactly like :func:`execute_cell`'s (success) and
+    :func:`_child_main`'s (failure), so the demultiplexed records are
+    indistinguishable from serial ones apart from wall-clock fields.
+    """
+    from ..core.processor import WaveScalarProcessor
+    from ..core.results import SimulationResult
+    from ..obs.metrics import cell_metrics
+    from ..sim.batched import BatchedEngine
+    from ..sim.compile import cache_info, get_compiled
+    from ..sim.engine import Engine
+    from ..workloads.registry import get
+
+    if not specs:
+        return []
+    first = specs[0]
+    for spec in specs:
+        if (spec.workload, spec.scale, spec.threads, spec.k, spec.seed) \
+                != (first.workload, first.scale, first.threads, first.k,
+                    first.seed):
+            raise ValueError(
+                f"batch group mixes workload signatures: "
+                f"{spec.describe()} vs {first.describe()}"
+            )
+        if spec.faults is not None:
+            raise ValueError(
+                f"{spec.describe()}: fault-plan cells cannot join a "
+                f"batch group (run them on the plain backend)"
+            )
+    workload = get(first.workload)
+    threads = first.threads if workload.multithreaded else None
+    started = time.perf_counter()
+    cache_before = cache_info()
+    compiled = get_compiled(
+        first.workload, scale=first.scale, threads=threads, k=first.k,
+        seed=first.seed,
+    )
+    procs = []
+    engines = []
+    for spec in specs:
+        proc = WaveScalarProcessor(
+            spec.config, max_cycles=spec.max_cycles,
+            max_events=spec.max_events,
+        )
+        placement = proc.place(compiled.graph)
+        engines.append(Engine(
+            compiled.graph, spec.config, placement,
+            max_cycles=spec.max_cycles, max_events=spec.max_events,
+            compiled=compiled.decoded,
+        ))
+        procs.append(proc)
+    outcomes = BatchedEngine(engines).run(strict=True)
+    wall_s = (time.perf_counter() - started) / len(specs)
+    cache_delta = _cache_delta(cache_before, cache_info())
+    expected = compiled.expected_outputs()
+    payloads: list[dict] = []
+    for spec, proc, outcome in zip(specs, procs, outcomes):
+        if not outcome.ok:
+            payloads.append(_failure_payload(outcome.error))
+            continue
+        result = SimulationResult(
+            program=compiled.graph.name, config=spec.config,
+            stats=outcome.stats, area=proc._area, timing=proc._timing,
+            threads=threads,
+        )
+        got = result.outputs()
+        if got != expected:
+            # The exact AssertionError run_compiled would have raised.
+            error = AssertionError(
+                f"{compiled.name}: simulator output {got!r} != "
+                f"reference {expected!r}"
+            )
+            payloads.append(_failure_payload(error))
+            continue
+        metrics = cell_metrics(result.stats, wall_s)
+        metrics.update(cache_delta)
+        payloads.append({
+            "status": "ok",
+            "aipc": result.aipc,
+            "ipc": result.ipc,
+            "cycles": result.cycles,
+            "area_mm2": result.area_mm2,
+            "dynamic_instructions": result.stats.dynamic_instructions,
+            "alpha_instructions": result.stats.alpha_instructions,
+            "metrics": metrics,
+        })
+    return payloads
+
+
+def _failure_payload(exc: BaseException) -> dict:
+    """The failure dict :func:`_child_main` would ship for ``exc``."""
+    if isinstance(exc, SimulationDeadlock):
+        diagnostics = getattr(exc, "diagnostics", None)
+        return {
+            "status": "failed",
+            "failure_class": type(exc).__name__,
+            "failure_detail": str(exc).splitlines()[0] if str(exc) else "",
+            "diagnostics": diagnostics.to_dict() if diagnostics else None,
+        }
+    return {
+        "status": "failed",
+        "failure_class": type(exc).__name__,
+        "failure_detail": f"{type(exc).__name__}: {exc}",
+        "diagnostics": None,
+    }
+
+
+def _child_main(spec: CellSpec, channel, sabotage=None,
+                backend: str = DEFAULT_BACKEND) -> None:
     """Subprocess entry point: run the cell, ship back one dict.
 
     ``sabotage`` is an optional chaos-layer
@@ -86,23 +229,32 @@ def _child_main(spec: CellSpec, channel, sabotage=None) -> None:
     if sabotage is not None:
         sabotage.apply()
     try:
-        payload = execute_cell(spec)
-    except SimulationDeadlock as exc:
-        diagnostics = getattr(exc, "diagnostics", None)
-        payload = {
-            "status": "failed",
-            "failure_class": type(exc).__name__,
-            "failure_detail": str(exc).splitlines()[0] if str(exc) else "",
-            "diagnostics": diagnostics.to_dict() if diagnostics else None,
-        }
-    except Exception as exc:  # noqa: BLE001 - anything else is a crash
-        payload = {
-            "status": "failed",
-            "failure_class": type(exc).__name__,
-            "failure_detail": f"{type(exc).__name__}: {exc}",
-            "diagnostics": None,
-        }
+        payload = execute_cell(spec, backend=backend)
+    except Exception as exc:  # noqa: BLE001 - classified either way
+        payload = _failure_payload(exc)
     channel.put(payload)
+
+
+def _batch_child_main(specs: list[CellSpec], channel) -> None:
+    """Subprocess entry point for one batch group: run the lockstep
+    engine over every cell, ship back one payload list in one put.
+
+    The child disables the cyclic GC: batch state is dropped wholesale
+    at process exit, and collection pauses in the middle of the
+    lockstep drain would only add jitter to every cell in the group.
+    A group-level failure (a broken placement, a refused engine)
+    produces the same failure payload for every cell; the parent's
+    per-cell fallback then re-runs each one under the full serial
+    policy, so a batch can degrade but never wedge.
+    """
+    import gc
+
+    gc.disable()
+    try:
+        payloads = execute_batch(specs)
+    except Exception as exc:  # noqa: BLE001 - group-level failure
+        payloads = [dict(_failure_payload(exc)) for _ in specs]
+    channel.put(payloads)
 
 
 @dataclass
@@ -122,6 +274,18 @@ class CellResult:
     #: ``retries`` so a chaos campaign's retry accounting aggregates
     #: bit-identically to an undisturbed run.
     injected: int = 0
+    #: The engine backend *requested* for this cell (``None`` on
+    #: results built before the registry existed).  Deliberately the
+    #: requested backend, not the one that happened to execute: the
+    #: recorded value is then a pure function of the campaign
+    #: arguments, identical for any jobs value or batch interleaving.
+    backend: Optional[str] = None
+    #: Why a ``batched`` request ran this cell on the plain engine --
+    #: one of the deterministic per-cell reasons from
+    #: :func:`repro.sim.backends.batch_unsupported_reason` (never a
+    #: scheduling dynamic such as a batch crash or the achieved
+    #: width; those stay in wall-clock-exempt report metrics).
+    backend_fallback: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -164,11 +328,25 @@ class RunSupervisor:
         isolation: str = "process",
         mp_context: Optional[str] = None,
         chaos=None,
+        backend: str = DEFAULT_BACKEND,
+        batch_width: int = DEFAULT_BATCH_WIDTH,
     ) -> None:
         if isolation not in ("process", "inline"):
             raise ValueError(f"unknown isolation {isolation!r}")
         if escalation <= 1.0:
             raise ValueError("escalation factor must exceed 1")
+        if batch_width < 1:
+            raise ValueError("batch width must be at least 1")
+        self.backend = validate_backend(backend)
+        if chaos is not None and self.backend == "batched":
+            # A sabotage decided for one cell would disturb its whole
+            # batch group -- the chaos invariants are per-cell, so the
+            # two layers do not compose.
+            raise ValueError(
+                "chaos injection does not compose with the batched "
+                "backend; run chaos campaigns on the plain backend"
+            )
+        self.batch_width = batch_width
         self.timeout_s = timeout_s
         self.max_retries = max_retries
         self.escalation = escalation
@@ -200,6 +378,8 @@ class RunSupervisor:
             "isolation": self.isolation,
             "mp_context": self.mp_context,
             "chaos": self.chaos,
+            "backend": self.backend,
+            "batch_width": self.batch_width,
         }
 
     def __getstate__(self) -> dict:
@@ -226,6 +406,9 @@ class RunSupervisor:
         started = time.monotonic()
         if self.isolation == "process" and self.mp_context == "fork":
             self._warm_compile(spec)
+        backend_fallback = None
+        if self.backend == "batched":
+            backend_fallback = batch_unsupported_reason(faults=spec.faults)
         attempts = 0
         injected = 0
         while True:
@@ -239,7 +422,8 @@ class RunSupervisor:
                     spec=spec, status="ok", attempts=attempts,
                     retries=attempts - 1 - injected,
                     wall_s=time.monotonic() - started, outcome=payload,
-                    injected=injected,
+                    injected=injected, backend=self.backend,
+                    backend_fallback=backend_fallback,
                 )
             if sabotage is not None and sabotage.retryable:
                 injected += 1
@@ -259,8 +443,73 @@ class RunSupervisor:
                 failure_class=failure_class,
                 failure_detail=payload.get("failure_detail"),
                 diagnostics=payload.get("diagnostics"),
-                injected=injected,
+                injected=injected, backend=self.backend,
+                backend_fallback=backend_fallback,
             )
+
+    def run_batch(self, specs: list[CellSpec]) -> list[CellResult]:
+        """One batch group of cells through the lockstep backend,
+        returning per-cell verdicts in order.
+
+        The contract mirrors :meth:`run` cell for cell:
+
+        * a cell the batched engine cannot take (fault plan attached,
+          numpy missing) runs the full serial policy instead, with the
+          deterministic reason on ``backend_fallback``;
+        * a cell whose *batch* attempt fails -- its own simulation
+          failure, a group-level crash, or the group watchdog -- has
+          that verdict discarded and re-runs under the full serial
+          policy (watchdog, budget escalation, retry accounting), so
+          its final record is bit-identical to the plain backend's.
+          The discarded batch attempt is a scheduling dynamic: it is
+          never counted in ``attempts``/``retries`` and never recorded
+          in the ledger.
+
+        The batch group's wall-clock allowance is ``timeout_s`` x
+        the group width (a batch is one process doing the work of
+        width serial attempts); a hung group is killed and every cell
+        degrades to the per-cell path.
+        """
+        if self.chaos is not None:
+            raise ValueError(
+                "chaos injection does not compose with run_batch"
+            )
+        specs = list(specs)
+        if not specs:
+            return []
+        results: dict[int, CellResult] = {}
+        batchable: list[tuple[int, CellSpec]] = []
+        for index, spec in enumerate(specs):
+            reason = batch_unsupported_reason(faults=spec.faults)
+            if reason is not None:
+                result = self.run(spec)
+                result.backend = "batched"
+                result.backend_fallback = reason
+                results[index] = result
+            else:
+                batchable.append((index, spec))
+        if batchable:
+            if self.isolation == "process" and self.mp_context == "fork":
+                self._warm_compile(batchable[0][1])
+            started = time.monotonic()
+            payloads = self._attempt_batch(
+                [spec for _, spec in batchable]
+            )
+            wall_s = (time.monotonic() - started) / len(batchable)
+            for (index, spec), payload in zip(batchable, payloads):
+                if payload.get("status") == "ok":
+                    results[index] = CellResult(
+                        spec=spec, status="ok", attempts=1, retries=0,
+                        wall_s=wall_s, outcome=payload,
+                        backend="batched", backend_fallback=None,
+                    )
+                else:
+                    # Per-cell degradation: the serial policy decides,
+                    # so the verdict matches a plain-backend run.
+                    result = self.run(spec)
+                    result.backend = "batched"
+                    results[index] = result
+        return [results[index] for index in range(len(specs))]
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -291,10 +540,9 @@ class RunSupervisor:
             return self._attempt_inline(spec)
         return self._attempt_process(spec, sabotage)
 
-    @staticmethod
-    def _attempt_inline(spec: CellSpec) -> dict:
+    def _attempt_inline(self, spec: CellSpec) -> dict:
         try:
-            return execute_cell(spec)
+            return execute_cell(spec, backend=self.backend)
         except SimulationDeadlock as exc:
             diagnostics = getattr(exc, "diagnostics", None)
             return {
@@ -309,7 +557,8 @@ class RunSupervisor:
     def _attempt_process(self, spec: CellSpec, sabotage=None) -> dict:
         channel = self._ctx.SimpleQueue()
         worker = self._ctx.Process(
-            target=_child_main, args=(spec, channel, sabotage),
+            target=_child_main,
+            args=(spec, channel, sabotage, self.backend),
             daemon=True,
         )
         worker.start()
@@ -335,6 +584,66 @@ class RunSupervisor:
                         f"{worker.exitcode} without a result",
                     "diagnostics": None,
                 }
+            return channel.get()
+        finally:
+            channel.close()
+
+    def _attempt_batch(self, specs: list[CellSpec]) -> list[dict]:
+        """One lockstep attempt over a batch group; per-cell payloads.
+
+        Group-level problems (a crash taking the whole child, the group
+        watchdog firing) come back as identical failure payloads for
+        every cell -- :meth:`run_batch` then re-runs each one serially,
+        so a batch attempt can only ever cost time, never correctness.
+        """
+        if self.isolation == "inline":
+            try:
+                return execute_batch(specs)
+            except Exception as exc:  # noqa: BLE001 - group failure
+                return [dict(_failure_payload(exc)) for _ in specs]
+        return self._attempt_batch_process(specs)
+
+    def _attempt_batch_process(self, specs: list[CellSpec]) -> list[dict]:
+        channel = self._ctx.SimpleQueue()
+        worker = self._ctx.Process(
+            target=_batch_child_main, args=(specs, channel), daemon=True,
+        )
+        worker.start()
+        # One process doing the work of len(specs) serial attempts gets
+        # the corresponding wall-clock allowance.
+        deadline = (
+            None if self.timeout_s is None
+            else self.timeout_s * len(specs)
+        )
+        worker.join(deadline)
+        try:
+            if worker.is_alive():
+                worker.kill()
+                worker.join()
+                return [
+                    {
+                        "status": "failed",
+                        "failure_class": WatchdogTimeout.__name__,
+                        "failure_detail":
+                            f"{spec.describe()}: batch group of "
+                            f"{len(specs)} produced no result within "
+                            f"{deadline}s; worker killed",
+                        "diagnostics": None,
+                    }
+                    for spec in specs
+                ]
+            if channel.empty():
+                return [
+                    {
+                        "status": "failed",
+                        "failure_class": WorkerCrash.__name__,
+                        "failure_detail":
+                            f"{spec.describe()}: batch worker exited "
+                            f"{worker.exitcode} without a result",
+                        "diagnostics": None,
+                    }
+                    for spec in specs
+                ]
             return channel.get()
         finally:
             channel.close()

@@ -137,6 +137,21 @@ class SweepReport:
                 f"{sched['dispatched']} dispatched, "
                 f"{sched['workers_reaped']} reaped"
             )
+        batched = self.metrics.get("batched")
+        if batched:
+            lines.append(
+                f"batched: width {batched['batch_width']}, "
+                f"{batched['batch_groups']} group(s) covering "
+                f"{batched['batched_cells']} cell(s), "
+                f"{batched['fallback_cells']} fallback(s)"
+            )
+        cache = self.metrics.get("compile_cache")
+        if cache:
+            lines.append(
+                f"compile cache: {cache['hits']} hit(s) / "
+                f"{cache['misses']} miss(es) / "
+                f"{cache['evictions']} eviction(s)"
+            )
         return "\n".join(lines)
 
 
@@ -168,6 +183,32 @@ def _finish_sweep_metrics(report: SweepReport,
     }
 
 
+def _finish_backend_metrics(report: SweepReport, supervisor,
+                            records: dict[str, dict]) -> None:
+    """Driver-side observability for the engine backend: the compile
+    cache's cumulative counters, and -- for the batched backend -- the
+    achieved grouping and per-cell fallbacks.  All wall-clock-adjacent
+    scheduling dynamics, deliberately kept out of the ledger records
+    (which must stay identical across jobs values and interleavings).
+    """
+    from ..sim.compile import cache_info
+
+    report.metrics["compile_cache"] = cache_info()
+    if getattr(supervisor, "backend", None) != "batched":
+        return
+    sched = report.metrics.get("scheduler", {})
+    report.metrics["batched"] = {
+        "backend": supervisor.backend,
+        "batch_width": supervisor.batch_width,
+        "batch_groups": sched.get("batch_groups", 0),
+        "batched_cells": sched.get("batched_cells", 0),
+        "fallback_cells": sum(
+            1 for record in records.values()
+            if record.get("backend_fallback")
+        ),
+    }
+
+
 def sweep_cells(
     specs: Iterable[CellSpec],
     *,
@@ -179,14 +220,25 @@ def sweep_cells(
     jobs: Optional[int] = 1,
     chaos=None,
     failure_budget: Optional[float] = None,
+    backend: Optional[str] = None,
+    batch_width: Optional[int] = None,
 ) -> tuple[dict[str, dict], SweepReport]:
     """Run an explicit cell list; returns (records by hash, report).
 
     Cells here are mutually independent, so each becomes its own
     single-cell lane and ``jobs>1`` runs them fully concurrently.
+    ``backend``/``batch_width`` configure the default supervisor (see
+    :mod:`repro.sim.backends`); pass a prebuilt ``supervisor`` to
+    control everything else.
     """
     specs = list(specs)
-    supervisor = supervisor if supervisor is not None else RunSupervisor()
+    if supervisor is None:
+        kwargs: dict = {}
+        if backend is not None:
+            kwargs["backend"] = backend
+        if batch_width is not None:
+            kwargs["batch_width"] = batch_width
+        supervisor = RunSupervisor(**kwargs)
     ledger = Ledger(ledger_path) if ledger_path else None
     done = ledger.load() if (ledger is not None and resume) else {}
     report = SweepReport()
@@ -212,6 +264,7 @@ def sweep_cells(
         spec.cell_hash(): done[spec.cell_hash()]
         for spec in specs if spec.cell_hash() in done
     }
+    _finish_backend_metrics(report, supervisor, records)
     return records, report
 
 
@@ -499,6 +552,8 @@ def design_space_sweep(
     chaos=None,
     failure_budget: Optional[float] = None,
     prune: bool = False,
+    backend: Optional[str] = None,
+    batch_width: Optional[int] = None,
 ) -> tuple[list[ParetoPoint], SweepReport]:
     """The fault-tolerant Figure 6/7 evaluation loop.
 
@@ -516,9 +571,22 @@ def design_space_sweep(
     points may report the optimistic mixed aggregate instead of the
     measured one.  Prune mode executes serially (``jobs`` is ignored)
     because each decision depends on the cells measured before it.
+
+    ``backend`` selects the engine for every cell (see
+    :mod:`repro.sim.backends`); ``backend="batched"`` additionally
+    groups same-workload cells into lockstep batch groups of up to
+    ``batch_width``, composing with both ``jobs`` (each worker runs
+    whole groups) and ``prune`` (pruning dispatches lanes one at a
+    time, so batched cells simply run at width 1).  Records are
+    bit-identical across backends apart from wall-clock fields and the
+    ``backend``/``backend_fallback`` annotations.
     """
     if supervisor is None:
         kwargs = {} if timeout_s is None else {"timeout_s": timeout_s}
+        if backend is not None:
+            kwargs["backend"] = backend
+        if batch_width is not None:
+            kwargs["batch_width"] = batch_width
         supervisor = RunSupervisor(
             max_retries=max_retries, escalation=escalation,
             isolation=isolation, **kwargs,
@@ -550,5 +618,6 @@ def design_space_sweep(
             failure_budget=failure_budget,
         )
     _finish_sweep_metrics(report, meter)
+    _finish_backend_metrics(report, supervisor, records)
     points = _aggregate(designs, names, lanes, records, report)
     return points, report

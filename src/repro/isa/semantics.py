@@ -120,6 +120,42 @@ def evaluate(
     return evaluator(*operands)
 
 
+def evaluator_for(
+    opcode: Opcode,
+    immediate: Optional[Value] = None,
+) -> Callable[[Sequence[Value]], Value]:
+    """A specialised single-argument callable equivalent to
+    ``lambda operands: evaluate(opcode, operands, immediate)``.
+
+    The opcode's identity tests and evaluator lookup are resolved
+    once, here, instead of on every dynamic instruction -- the
+    per-instruction fast path of the batched backend, which
+    precomputes one evaluator per decoded instruction.  Error
+    behaviour matches :func:`evaluate` exactly (the failures surface
+    at call time, as the engine would see them).
+    """
+    if opcode is Opcode.CONST:
+        if immediate is None:
+            def _const_missing(operands: Sequence[Value]) -> Value:
+                raise ValueError("CONST requires an immediate")
+            return _const_missing
+        return lambda operands: immediate
+    if opcode is Opcode.STEER:
+        return lambda operands: operands[0]
+    if opcode is Opcode.MERGE:
+        return lambda operands: operands[0] if operands[2] else operands[1]
+    if opcode is Opcode.LOAD:
+        return lambda operands: operands[0]
+    if opcode is Opcode.STORE:
+        return lambda operands: operands[1]
+    evaluator = _EVALUATORS.get(opcode)
+    if evaluator is None:
+        def _no_semantics(operands: Sequence[Value]) -> Value:
+            raise ValueError(f"no semantics for {opcode.name}")
+        return _no_semantics
+    return lambda operands: evaluator(*operands)
+
+
 def steer_taken(operands: Sequence[Value]) -> bool:
     """Whether a STEER forwards to its true-side destinations."""
     return bool(operands[1])

@@ -288,6 +288,15 @@ def aggregate_records(records: Iterable[dict]) -> MetricsRegistry:
             reg.histogram("cell_events_per_s").observe(
                 metrics["events_per_s"]
             )
+        for key in ("compile_cache_hits", "compile_cache_misses",
+                    "compile_cache_evictions"):
+            if key in metrics:
+                # Histograms, NOT counters: cache activity attributed
+                # to a cell depends on which worker process ran it and
+                # in what order, so folding these into the counter set
+                # would break the jobs-independence contract that
+                # deterministic_counters() asserts.
+                reg.histogram(key).observe(metrics[key])
     return reg
 
 

@@ -1,0 +1,97 @@
+"""The engine backend registry.
+
+Three interchangeable ways to drive the cycle-level simulator:
+
+* ``plain`` -- the default: one :class:`~repro.sim.engine.Engine` per
+  run, the uninstrumented ``_run_plain`` hot loop.
+* ``profiled`` -- the same engine with the ``_run_profiled`` loop twin
+  and a :class:`~repro.obs.profile.PhaseProfile` attached, attributing
+  hot-loop time to pipeline phases.  Simulated results are bit-identical
+  to ``plain`` (the AST twin-sync test enforces it).
+* ``batched`` -- the lockstep multi-cell backend of
+  :mod:`repro.sim.batched`: many cells of the same workload graph run
+  in one process, interleaved cycle-major, with per-cell results
+  bit-identical to ``plain``.  Requires numpy; cells carrying a
+  feature the lockstep loop does not support (fault plans, traces,
+  sanitizers, profiles) fall back to ``plain`` per cell with a
+  recorded reason.
+
+Every user-facing selection point (``WaveScalarProcessor(backend=)``,
+``repro run --backend``, sweep ``--backend``) funnels through
+:func:`validate_backend`, so an unknown name always fails fast with
+the valid set listed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+    "UnknownBackendError",
+    "batched_available",
+    "batch_unsupported_reason",
+    "validate_backend",
+]
+
+#: Every selectable backend, in documentation order.
+BACKENDS = ("plain", "profiled", "batched")
+
+DEFAULT_BACKEND = "plain"
+
+
+class UnknownBackendError(ValueError):
+    """Raised for a backend name outside :data:`BACKENDS`."""
+
+    def __init__(self, name: object) -> None:
+        super().__init__(
+            f"unknown engine backend {name!r}; valid backends: "
+            + ", ".join(BACKENDS)
+        )
+        self.name = name
+
+
+def validate_backend(name: str) -> str:
+    """Return ``name`` if it is a registered backend, else raise
+    :class:`UnknownBackendError` listing the valid set."""
+    if name not in BACKENDS:
+        raise UnknownBackendError(name)
+    return name
+
+
+def batched_available() -> bool:
+    """Whether the batched backend can run in this environment (it
+    holds its lockstep bookkeeping in numpy arrays)."""
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def batch_unsupported_reason(
+    faults=None,
+    trace=None,
+    sanitizer=None,
+    profile=None,
+) -> Optional[str]:
+    """The deterministic reason a cell cannot run under the batched
+    backend, or ``None`` when it can.
+
+    The reasons here depend only on the cell's own definition and the
+    environment -- never on scheduling dynamics (batch width, worker
+    crashes) -- so a recorded fallback reason is identical for any
+    ``jobs`` value and any lane interleaving.
+    """
+    if not batched_available():
+        return "numpy-unavailable"
+    if faults is not None:
+        return "fault-plan"
+    if trace is not None:
+        return "trace-attached"
+    if sanitizer is not None:
+        return "sanitizer-attached"
+    if profile is not None:
+        return "profile-attached"
+    return None

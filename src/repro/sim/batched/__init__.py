@@ -1,0 +1,21 @@
+"""The batched lockstep engine backend.
+
+Executes many cells of the same workload graph in one process,
+interleaved cycle-major over a shared frontier (see
+:mod:`repro.sim.batched.core`).  Per-cell simulated results are
+bit-identical to the serial ``plain`` backend; the golden suite in
+``tests/sim/test_batched_backend.py`` proves it for every workload
+against every grid configuration.
+"""
+
+from .core import (
+    LOCKSTEP_QUANTUM,
+    BatchedEngine,
+    BatchOutcome,
+)
+
+__all__ = [
+    "BatchedEngine",
+    "BatchOutcome",
+    "LOCKSTEP_QUANTUM",
+]

@@ -232,6 +232,7 @@ _lock = threading.Lock()
 _cache: dict[tuple, CompiledWorkload] = {}
 _hits = 0
 _misses = 0
+_evictions = 0
 
 
 def get_compiled(
@@ -250,7 +251,7 @@ def get_compiled(
     equivalent), and the lock itself protects the map for the
     supervisor's run-cells-from-several-threads contract.
     """
-    global _hits, _misses
+    global _hits, _misses, _evictions
     key = _key(name, scale, threads, k, seed)
     with _lock:
         cached = _cache.get(key)
@@ -268,15 +269,21 @@ def get_compiled(
         _cache[key] = compiled
         while len(_cache) > CACHE_CAPACITY:
             _cache.pop(next(iter(_cache)))
+            _evictions += 1
     return compiled
 
 
 def cache_info() -> dict:
-    """Hit/miss/size counters for the per-process compile cache."""
+    """Hit/miss/eviction/size counters for the per-process compile
+    cache.  An eviction streak in a sweep means the working set
+    outgrew :data:`CACHE_CAPACITY` and cells are silently rebuilding
+    graphs -- ``repro stats`` surfaces these counters for exactly that
+    diagnosis."""
     with _lock:
         return {
             "hits": _hits,
             "misses": _misses,
+            "evictions": _evictions,
             "size": len(_cache),
             "capacity": CACHE_CAPACITY,
         }
@@ -284,8 +291,9 @@ def cache_info() -> dict:
 
 def clear_cache() -> None:
     """Drop every cached workload and reset the counters (tests)."""
-    global _hits, _misses
+    global _hits, _misses, _evictions
     with _lock:
         _cache.clear()
         _hits = 0
         _misses = 0
+        _evictions = 0

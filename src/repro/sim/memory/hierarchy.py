@@ -34,12 +34,17 @@ class CacheArray:
     def __init__(self, sets: int, ways: int) -> None:
         self.sets = max(1, sets)
         self.ways = max(1, ways)
-        self._data: list[OrderedDict[int, str]] = [
-            OrderedDict() for _ in range(self.sets)
-        ]
+        # Sets materialise on first touch: a sweep cell touches a tiny
+        # fraction of a megabyte-class L2's sets, so eagerly building
+        # one OrderedDict per set dominated engine construction.
+        self._data: dict[int, OrderedDict[int, str]] = {}
 
     def _set_of(self, line: int) -> OrderedDict[int, str]:
-        return self._data[line % self.sets]
+        index = line % self.sets
+        ways = self._data.get(index)
+        if ways is None:
+            ways = self._data[index] = OrderedDict()
+        return ways
 
     def lookup(self, line: int) -> str | None:
         ways = self._set_of(line)

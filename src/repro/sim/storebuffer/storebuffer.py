@@ -121,6 +121,24 @@ class StoreBuffer:
         # ("Each store buffer can handle four wave-ordered memory
         # sequences at once") wait here until the window slides.
         self._overflow: dict[int, list[tuple]] = {}
+        # Static per-instruction decode for the request path:
+        # inst_id -> (seq, prev, next, is_load, is_store).  Cached on
+        # the graph because every store buffer of every cell sharing
+        # that graph (a batch group, retry attempts) reads the same
+        # rows; the Instruction/Opcode attribute chains are too slow
+        # to walk once per memory operation.
+        rows = getattr(graph, "_memop_rows", None)
+        if rows is None:
+            rows = {
+                inst.inst_id: (
+                    ann.this, ann.prev, ann.next,
+                    inst.opcode.is_load, inst.opcode.is_store,
+                )
+                for inst in graph.instructions
+                if (ann := inst.wave_annotation) is not None
+            }
+            graph._memop_rows = rows
+        self._memop_rows = rows
 
     # ------------------------------------------------------------------
     # Request intake
@@ -143,10 +161,9 @@ class StoreBuffer:
         op = self._op_for(inst_id, thread, wave, cycle)
         op.addr = int(addr)
         self.stats.memory_ops += 1
-        inst = self.graph[inst_id]
-        if inst.opcode.is_load:
+        if op.is_load:
             self.stats.loads += 1
-        elif inst.opcode.is_store:
+        elif op.is_store:
             self.stats.stores += 1
         self._pump(thread, cycle)
 
@@ -181,24 +198,22 @@ class StoreBuffer:
     def _op_for(
         self, inst_id: int, thread: int, wave: int, cycle: int
     ) -> MemOp:
-        inst = self.graph[inst_id]
-        ann = inst.wave_annotation
-        assert ann is not None
+        seq, prev, nxt, is_load, is_store = self._memop_rows[inst_id]
         ctx = self._contexts.setdefault((thread, wave), _WaveContext())
-        op = ctx.pending.get(ann.this)
+        op = ctx.pending.get(seq)
         if op is None:
             op = MemOp(
                 inst_id=inst_id,
                 thread=thread,
                 wave=wave,
-                seq=ann.this,
-                prev=ann.prev,
-                next=ann.next,
-                is_load=inst.opcode.is_load,
-                is_store=inst.opcode.is_store,
+                seq=seq,
+                prev=prev,
+                next=nxt,
+                is_load=is_load,
+                is_store=is_store,
                 arrived=cycle,
             )
-            ctx.pending[ann.this] = op
+            ctx.pending[seq] = op
             self._expected_wave.setdefault(thread, 0)
         return op
 
@@ -244,10 +259,9 @@ class StoreBuffer:
             if kind == "addr":
                 op.addr = int(value)
                 self.stats.memory_ops += 1
-                inst = self.graph[inst_id]
-                if inst.opcode.is_load:
+                if op.is_load:
                     self.stats.loads += 1
-                elif inst.opcode.is_store:
+                elif op.is_store:
                     self.stats.stores += 1
             else:
                 op.data = value

@@ -1,0 +1,166 @@
+"""Golden identity for the batched lockstep backend.
+
+The batched engine (``repro.sim.batched``) lockstep-executes many
+cells of the design space at once; its contract is that every cell's
+:class:`~repro.sim.stats.SimStats` -- and every *failure*, class and
+message -- is bit-identical to a serial run.  The oracle is twofold:
+the current plain :class:`~repro.sim.engine.Engine` and the frozen
+seed engine in ``repro.sim._legacy``.
+"""
+
+from dataclasses import asdict
+
+import pytest
+
+from repro.core import WaveScalarConfig, WaveScalarProcessor
+from repro.place.snake import place
+from repro.sim import UnknownBackendError, validate_backend
+from repro.sim._legacy.engine import Engine as LegacyEngine
+from repro.sim.backends import BACKENDS, batch_unsupported_reason
+from repro.sim.batched import BatchedEngine
+from repro.sim.compile import get_compiled
+from repro.sim.engine import Engine
+from repro.workloads import Scale
+from repro.workloads.registry import all_names, get
+
+#: The golden sweep config, plus a deliberately starved design that
+#: drives several workloads into the failure taxonomy (conflict
+#: pressure, budget exhaustion) -- the batched backend must reproduce
+#: those failures bit-for-bit too.
+GOLDEN = WaveScalarConfig(
+    clusters=4, virtualization=64, matching_entries=64, l2_mb=1
+)
+STARVED = WaveScalarConfig(
+    clusters=1, virtualization=16, matching_entries=16,
+    matching_banks=2, matching_associativity=2, l2_mb=0,
+)
+CONFIGS = (GOLDEN, STARVED)
+MAX_CYCLES = 200_000
+
+
+def _compiled(name: str):
+    workload = get(name)
+    threads = 4 if workload.multithreaded else None
+    return get_compiled(name, scale=Scale.TINY, threads=threads)
+
+
+def _engine(compiled, config) -> Engine:
+    placement = place(compiled.graph, config)
+    return Engine(
+        compiled.graph, config, placement, max_cycles=MAX_CYCLES,
+        compiled=compiled.decoded,
+    )
+
+
+def _verdict(run):
+    """``("ok", stats-dict)`` or ``("fail", class, message)`` -- the
+    full comparable surface of one engine run."""
+    try:
+        return ("ok", asdict(run()))
+    except Exception as exc:  # noqa: BLE001 - the failure IS the data
+        return ("fail", type(exc).__name__, str(exc))
+
+
+@pytest.mark.parametrize("name", all_names())
+def test_batched_bit_identical_to_plain_and_seed(name):
+    compiled = _compiled(name)
+    plain = [
+        _verdict(_engine(compiled, config).run) for config in CONFIGS
+    ]
+    outcomes = BatchedEngine(
+        [_engine(compiled, config) for config in CONFIGS]
+    ).run(strict=True)
+    batched = [
+        ("ok", asdict(o.stats)) if o.ok
+        else ("fail", type(o.error).__name__, str(o.error))
+        for o in outcomes
+    ]
+    assert batched == plain
+    # Seed-engine oracle on the golden config (the legacy engine has
+    # no compiled-decode path, so it takes the graph directly).
+    workload = get(name)
+    threads = 4 if workload.multithreaded else None
+    graph = workload.instantiate(scale=Scale.TINY, threads=threads,
+                                 seed=0)
+    placement = place(graph, GOLDEN)
+    legacy = _verdict(
+        LegacyEngine(graph, GOLDEN, placement,
+                     max_cycles=MAX_CYCLES).run
+    )
+    assert plain[0] == legacy
+
+
+def test_width_one_batch_matches_plain():
+    compiled = _compiled("fft")
+    plain = _engine(compiled, GOLDEN).run()
+    outcome = BatchedEngine([_engine(compiled, GOLDEN)]).run()[0]
+    assert outcome.ok
+    assert asdict(outcome.stats) == asdict(plain)
+
+
+def test_processor_batched_backend_matches_plain():
+    workload = get("gzip")
+    plain = WaveScalarProcessor(GOLDEN).run_workload(
+        workload, scale=Scale.TINY
+    )
+    batched_proc = WaveScalarProcessor(GOLDEN, backend="batched")
+    batched = batched_proc.run_workload(workload, scale=Scale.TINY)
+    assert batched_proc.last_backend_fallback is None
+    assert asdict(batched.stats) == asdict(plain.stats)
+
+
+def test_processor_batched_falls_back_under_profile():
+    from repro.obs import PhaseProfile
+
+    workload = get("gzip")
+    proc = WaveScalarProcessor(GOLDEN, backend="batched")
+    profiled = proc.run_workload(
+        workload, scale=Scale.TINY, profile=PhaseProfile()
+    )
+    assert proc.last_backend_fallback == "profile-attached"
+    plain = WaveScalarProcessor(GOLDEN).run_workload(
+        workload, scale=Scale.TINY
+    )
+    assert asdict(profiled.stats) == asdict(plain.stats)
+
+
+# ----------------------------------------------------------------------
+# Backend registry edge cases
+# ----------------------------------------------------------------------
+def test_unknown_backend_raises_listing_valid_set():
+    with pytest.raises(UnknownBackendError) as excinfo:
+        validate_backend("vectorised")
+    message = str(excinfo.value)
+    assert "vectorised" in message
+    for name in BACKENDS:
+        assert name in message
+
+
+def test_processor_rejects_unknown_backend():
+    with pytest.raises(UnknownBackendError):
+        WaveScalarProcessor(GOLDEN, backend="nope")
+
+
+def test_supervisor_rejects_unknown_backend():
+    from repro.harness import RunSupervisor
+
+    with pytest.raises(UnknownBackendError):
+        RunSupervisor(backend="nope")
+
+
+def test_unsupported_reasons_are_deterministic_and_named():
+    assert batch_unsupported_reason() is None
+    assert batch_unsupported_reason(faults=object()) == "fault-plan"
+    assert batch_unsupported_reason(trace=object()) == "trace-attached"
+    assert (batch_unsupported_reason(sanitizer=object())
+            == "sanitizer-attached")
+    assert (batch_unsupported_reason(profile=object())
+            == "profile-attached")
+
+
+def test_batched_engine_refuses_attached_instrumentation():
+    compiled = _compiled("fft")
+    engine = _engine(compiled, GOLDEN)
+    engine.profile = object()
+    with pytest.raises(ValueError):
+        BatchedEngine([engine])
