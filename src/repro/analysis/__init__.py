@@ -30,6 +30,7 @@ from .dataflow import (
     analyze_tokens,
     bound_for_cell,
     compute_bound,
+    graph_statics,
     workload_statics,
 )
 from .diagnostics import Diagnostic, Report, Severity
@@ -62,6 +63,7 @@ __all__ = [
     "analyze_tokens",
     "bound_for_cell",
     "compute_bound",
+    "graph_statics",
     "workload_statics",
     "Diagnostic",
     "Report",

@@ -761,12 +761,28 @@ def workload_statics(
 ) -> WorkloadStatics:
     """Build, reference-execute, and statically analyze one workload
     instantiation (uncached; see :func:`bound_for_cell`)."""
-    from ..lang.interp import interpret
     from ..sim.compile import get_compiled
 
     compiled = get_compiled(name, scale=scale, threads=threads, k=k,
                             seed=seed)
-    graph = compiled.graph
+    return graph_statics(compiled.graph, name=name, scale=scale,
+                         threads=threads)
+
+
+def graph_statics(
+    graph: DataflowGraph,
+    name: str = "<graph>",
+    scale: str = "tiny",
+    threads: Optional[int] = None,
+) -> WorkloadStatics:
+    """Statically analyze and reference-execute an already-built graph.
+
+    The registry-independent core of :func:`workload_statics`: the
+    fuzzer (and any programmatic caller with a hand-built graph) uses
+    this to get bound ingredients for programs that have no registry
+    name."""
+    from ..lang.interp import interpret
+
     flow = analyze_tokens(graph)
     if flow.proven_deadlock:
         return WorkloadStatics(

@@ -41,6 +41,7 @@ from .workloads import (
     MEDIA_NAMES,
     SPEC_NAMES,
     SPLASH_NAMES,
+    TENSOR_NAMES,
     WORKLOADS,
     Scale,
     get,
@@ -50,6 +51,7 @@ SUITES = {
     "spec": SPEC_NAMES,
     "media": MEDIA_NAMES,
     "splash": SPLASH_NAMES,
+    "tensor": TENSOR_NAMES,
     "all": tuple(sorted(WORKLOADS)),
 }
 
@@ -579,6 +581,52 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    """Differential fuzz campaign: seeded programs through every
+    oracle (interpreter, plain engine, batched backend, static bound,
+    linter); divergences are minimized and written to the corpus."""
+    import json
+
+    from .fuzz import get_defect, run_campaign
+
+    try:
+        defect = get_defect(args.defect)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    def progress(seed, result):
+        if not args.json and (seed + 1 - args.start) % 50 == 0:
+            print(f"  seed {seed}: {result.seeds_run} run, "
+                  f"{len(result.cases)} divergence(s)")
+
+    if not args.json:
+        print(f"fuzzing seeds {args.start}..{args.start + args.seeds - 1}"
+              + (f" with seeded defect {args.defect!r}" if args.defect
+                 else ""))
+    result = run_campaign(
+        seeds=args.seeds, start=args.start, corpus_dir=args.corpus,
+        minimize=args.minimize, defect=defect, defect_name=args.defect,
+        progress=progress,
+    )
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(f"{result.seeds_run} program(s): {result.programs_clean} "
+              f"clean, {len(result.cases)} divergent "
+              f"({result.total_static} static / {result.total_dynamic} "
+              f"dynamic instructions covered)")
+        for case in result.cases:
+            size = (f"{case.graph_len} -> {case.minimized_len} instrs"
+                    if case.minimized_len is not None
+                    else f"{case.graph_len} instrs")
+            print(f"  seed {case.seed} [{case.kind}] {size}: "
+                  f"{case.detail[:100]}")
+        if result.cases and args.corpus:
+            print(f"repro cases written to {args.corpus}/")
+    return 1 if result.cases else 0
+
+
 def _bench_lines(doc: dict) -> list[str]:
     """Flatten one benchmark document into display lines: top-level
     scalars as ``key = value``, nested dicts as one ``key: k=v, ...``
@@ -625,18 +673,38 @@ def cmd_bench_summary(args: argparse.Namespace) -> int:
     if not paths:
         print(f"no BENCH_*.json found under {root}", file=sys.stderr)
         return 2
+    bad = 0
     for path in paths:
         try:
-            doc = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, json.JSONDecodeError) as exc:
+            text = path.read_text(encoding="utf-8")
+        except OSError as exc:
             print(f"{path}: unreadable ({exc})")
+            bad += 1
+            continue
+        if not text.strip():
+            print(f"{path}: empty file")
+            bad += 1
+            continue
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            print(f"{path}: malformed JSON ({exc})")
+            bad += 1
             continue
         print(f"{path}:")
         if isinstance(doc, dict):
             for line in _bench_lines(doc):
                 print(f"  {line}")
-        else:
+        elif isinstance(doc, list):
             print(f"  [{len(doc)} top-level item(s)]")
+        else:
+            print(f"  [non-object document: {type(doc).__name__}]")
+            bad += 1
+    if bad:
+        print(f"warning: {bad} bad benchmark file(s) skipped",
+              file=sys.stderr)
+        if args.strict:
+            return 1
     return 0
 
 
@@ -915,6 +983,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_ledger.add_argument("--json", action="store_true",
                           help="emit the verify audit as JSON")
 
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzz campaign: seeded programs cross-"
+             "checked across interpreter, engines, and static bounds",
+    )
+    p_fuzz.add_argument("--seeds", type=int, default=100, metavar="N",
+                        help="number of seeds to fuzz (default 100)")
+    p_fuzz.add_argument("--start", type=int, default=0, metavar="SEED",
+                        help="first seed (default 0)")
+    p_fuzz.add_argument("--corpus", default=None, metavar="DIR",
+                        help="write minimized repro cases to this "
+                             "directory")
+    p_fuzz.add_argument("--minimize", action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="delta-debug divergent programs to "
+                             "minimal repros (default: on)")
+    p_fuzz.add_argument("--defect", default=None,
+                        help="seed an intentional harness-boundary "
+                             "engine defect (off-by-one, "
+                             "dropped-output, sign-flip) to prove the "
+                             "harness catches it")
+    p_fuzz.add_argument("--json", action="store_true",
+                        help="emit the campaign report as JSON")
+
     p_bench = sub.add_parser(
         "bench-summary",
         help="one-screen summary of every BENCH_*.json benchmark "
@@ -922,6 +1014,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench.add_argument("--root", default=".",
                          help="directory to scan (default: cwd)")
+    p_bench.add_argument("--strict", action="store_true",
+                         help="exit non-zero if any benchmark file is "
+                              "missing, empty, or malformed (default: "
+                              "report and continue)")
 
     return parser
 
@@ -941,6 +1037,7 @@ COMMANDS = {
     "tune": cmd_tune,
     "chaos": cmd_chaos,
     "ledger": cmd_ledger,
+    "fuzz": cmd_fuzz,
     "bench-summary": cmd_bench_summary,
 }
 

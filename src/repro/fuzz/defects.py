@@ -1,0 +1,60 @@
+"""Seeded defects: deliberate corruptions that prove the harness works.
+
+A defect is a harness-boundary corruption of the plain engine's
+output list -- the differential loop applies it after the engine runs
+and before comparison, simulating a broken engine without actually
+breaking the engine the rest of the test suite depends on.  The
+campaign must (a) flag every program whose outputs the defect
+touches and (b) shrink one to a minimal repro, which locks the
+detect-and-minimize pipeline end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+__all__ = ["DEFECTS", "get_defect"]
+
+
+def _off_by_one(outputs: list) -> list:
+    """The classic: the first integer output is one too large."""
+    corrupted = list(outputs)
+    for i, value in enumerate(corrupted):
+        if isinstance(value, int) and not isinstance(value, bool):
+            corrupted[i] = value + 1
+            break
+    return corrupted
+
+
+def _dropped_output(outputs: list) -> list:
+    """A lost token: the last output never arrives."""
+    return list(outputs[:-1])
+
+
+def _sign_flip(outputs: list) -> list:
+    """A wrong-way STEER: the first nonzero output changes sign."""
+    corrupted = list(outputs)
+    for i, value in enumerate(corrupted):
+        if isinstance(value, (int, float)) and value:
+            corrupted[i] = -value
+            break
+    return corrupted
+
+
+DEFECTS: dict[str, Callable[[list], list]] = {
+    "off-by-one": _off_by_one,
+    "dropped-output": _dropped_output,
+    "sign-flip": _sign_flip,
+}
+
+
+def get_defect(name: Optional[str]) -> Optional[Callable[[list], list]]:
+    if name is None:
+        return None
+    try:
+        return DEFECTS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown defect {name!r}; valid defects: "
+            + ", ".join(sorted(DEFECTS))
+        ) from None

@@ -1,0 +1,251 @@
+"""Differential execution: one program, five oracles, zero tolerance.
+
+For each fuzz program the harness runs
+
+* the reference interpreter (:mod:`repro.lang.interp`) -- golden
+  outputs;
+* the plain engine on each probe config -- outputs and SimStats;
+* the batched backend on each probe config -- SimStats must equal the
+  plain engine's field for field;
+* the A-rule static bound (:func:`repro.analysis.dataflow
+  .graph_statics` + ``compute_bound``) -- measured AIPC must never
+  exceed it;
+* the graph linter -- generated programs must be error-free.
+
+Any disagreement becomes a :class:`Divergence`.  Floating-point
+comparisons are exact (bit-identity is the contract between backends)
+except that NaN is treated as equal to NaN: the generator can
+legitimately manufacture NaNs (inf - inf), and every backend must
+produce the *same* NaN-shaped result, which ``==`` alone cannot
+express.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Optional
+
+from ..analysis.dataflow import compute_bound, graph_statics
+from ..analysis.lint import lint_graph
+from ..core.config import WaveScalarConfig
+from ..isa.graph import DataflowGraph
+from ..lang.interp import DeadlockError, interpret
+from ..sim.backends import batched_available
+from ..sim.engine import Engine, simulate
+from ..sim.failures import (
+    CycleBudgetExhausted,
+    EventBudgetExhausted,
+    SimulationDeadlock,
+)
+
+#: Probe configs: the roomy default plus a starved design (1 cluster,
+#: tiny matching table, no L2) that forces eviction/retry paths.
+PROBE_CONFIGS = (
+    WaveScalarConfig(),
+    WaveScalarConfig(clusters=1, virtualization=16, matching_entries=16,
+                     matching_banks=2, matching_associativity=2, l2_mb=0),
+)
+
+#: Budgets far above anything a recipe-sized program can need, so a
+#: budget trip is itself a reportable anomaly, not noise.
+MAX_FIRINGS = 2_000_000
+MAX_CYCLES = 2_000_000
+MAX_EVENTS = 5_000_000
+
+#: A tiny slack on the bound comparison would hide real soundness
+#: bugs; the bound is computed in exact arithmetic, so none is given.
+BOUND_EPS = 0.0
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One observed disagreement between oracles."""
+
+    kind: str  # output | stats | bound | deadlock | lint | error
+    detail: str
+    config: str = ""
+
+
+@dataclass
+class DiffReport:
+    """Everything the harness learned about one program."""
+
+    name: str
+    divergences: list = field(default_factory=list)
+    graph_len: int = 0
+    dynamic_instructions: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.divergences
+
+
+def values_equal(a: list, b: list) -> bool:
+    """Exact elementwise equality, with NaN == NaN."""
+    if len(a) != len(b):
+        return False
+    for x, y in zip(a, b):
+        if x != y and not (x != x and y != y):
+            return False
+    return True
+
+
+def _stats_diff(plain: dict, batched: dict) -> Optional[str]:
+    """First field where two SimStats dicts disagree, or None."""
+    for key in sorted(set(plain) | set(batched)):
+        x, y = plain.get(key), batched.get(key)
+        if x != y and not _nan_equal(x, y):
+            return f"{key}: plain={x!r} batched={y!r}"
+    return None
+
+
+def _nan_equal(x, y) -> bool:
+    if isinstance(x, dict) and isinstance(y, dict):
+        return set(x) == set(y) and all(
+            _nan_equal(x[k], y[k]) for k in x
+        )
+    if isinstance(x, (list, tuple)) and isinstance(y, (list, tuple)):
+        return len(x) == len(y) and all(
+            _nan_equal(a, b) for a, b in zip(x, y)
+        )
+    return x == y or (x != x and y != y)
+
+
+def _batched_stats(graph: DataflowGraph, config: WaveScalarConfig):
+    """Run one cell under the lockstep backend; returns (stats, error)."""
+    from ..place.snake import place
+    from ..sim.batched.core import BatchedEngine
+
+    placement = place(graph, config)
+    engine = Engine(graph, config, placement, max_cycles=MAX_CYCLES,
+                    max_events=MAX_EVENTS)
+    outcome = BatchedEngine([engine]).run(strict=True)[0]
+    return outcome.stats, outcome.error
+
+
+def diff_graph(
+    graph: DataflowGraph,
+    configs=PROBE_CONFIGS,
+    defect: Optional[Callable[[list], list]] = None,
+    check_batched: bool = True,
+    check_bound: bool = True,
+) -> DiffReport:
+    """Cross-check one graph against every oracle.
+
+    ``defect`` is a harness-boundary corruption applied to the plain
+    engine's outputs (see :mod:`repro.fuzz.defects`) -- the seeded-bug
+    mechanism that proves the harness and minimizer actually detect a
+    broken engine.
+    """
+    report = DiffReport(name=graph.name, graph_len=len(graph))
+
+    lint = lint_graph(graph)
+    if not lint.clean:
+        errors = [d for d in lint.report.diagnostics
+                  if d.severity.name == "ERROR"]
+        report.divergences.append(Divergence(
+            "lint", f"{len(errors)} lint error(s): "
+            + "; ".join(str(d) for d in errors[:3])
+        ))
+
+    try:
+        ref = interpret(graph, max_firings=MAX_FIRINGS)
+    except DeadlockError as exc:
+        ref = None
+        ref_error = str(exc)
+    if ref is not None:
+        report.dynamic_instructions = ref.dynamic_instructions
+        ref_outputs = ref.output_values()
+
+    statics = None
+    if check_bound and ref is not None:
+        statics = graph_statics(graph, name=graph.name)
+
+    for i, config in enumerate(configs):
+        label = config.describe()
+        try:
+            stats = simulate(graph, config, max_cycles=MAX_CYCLES,
+                             max_events=MAX_EVENTS)
+        except (CycleBudgetExhausted, EventBudgetExhausted) as exc:
+            # Starved probe configs (index > 0) can genuinely livelock
+            # in matching-table thrash -- the paper's non-viable
+            # designs.  That is an explained outcome, but the batched
+            # backend must reproduce the identical failure.  The roomy
+            # primary config must always complete a recipe program.
+            if i == 0:
+                report.divergences.append(Divergence(
+                    "budget",
+                    f"primary config exhausted its budget: {exc}",
+                    config=label,
+                ))
+            elif check_batched and batched_available():
+                bstats, berror = _batched_stats(graph, config)
+                if berror is None or type(berror) is not type(exc) or \
+                        str(berror) != str(exc):
+                    report.divergences.append(Divergence(
+                        "stats",
+                        f"plain thrashed ({type(exc).__name__}: {exc}) "
+                        f"but batched gave "
+                        f"{type(berror).__name__ if berror else 'stats'}"
+                        f": {berror}", config=label,
+                    ))
+            continue
+        except SimulationDeadlock as exc:
+            if ref is not None:
+                report.divergences.append(Divergence(
+                    "deadlock",
+                    f"interpreter completed but engine stuck: {exc}",
+                    config=label,
+                ))
+            continue
+        except Exception as exc:  # engine crash is always reportable
+            report.divergences.append(Divergence(
+                "error", f"plain engine raised {type(exc).__name__}: "
+                         f"{exc}", config=label,
+            ))
+            continue
+        if ref is None:
+            report.divergences.append(Divergence(
+                "deadlock",
+                f"engine completed but interpreter deadlocked: "
+                f"{ref_error}", config=label,
+            ))
+            continue
+
+        outputs = stats.output_values()
+        if defect is not None:
+            outputs = defect(list(outputs))
+        if not values_equal(outputs, ref_outputs):
+            report.divergences.append(Divergence(
+                "output",
+                f"engine {outputs!r} != reference {ref_outputs!r}",
+                config=label,
+            ))
+
+        if statics is not None:
+            bound = compute_bound(statics, config)
+            if stats.aipc > bound.aipc_bound + BOUND_EPS:
+                report.divergences.append(Divergence(
+                    "bound",
+                    f"measured AIPC {stats.aipc:.6f} exceeds static "
+                    f"bound {bound.aipc_bound:.6f} "
+                    f"(roof {bound.binding_roof})",
+                    config=label,
+                ))
+
+        if check_batched and batched_available():
+            bstats, berror = _batched_stats(graph, config)
+            if berror is not None:
+                report.divergences.append(Divergence(
+                    "stats",
+                    f"batched errored where plain completed: "
+                    f"{type(berror).__name__}: {berror}", config=label,
+                ))
+            else:
+                delta = _stats_diff(asdict(stats), asdict(bstats))
+                if delta is not None:
+                    report.divergences.append(Divergence(
+                        "stats", f"plain/batched SimStats differ -- "
+                                 f"{delta}", config=label,
+                    ))
+    return report

@@ -1,0 +1,127 @@
+"""Seeded program generators.
+
+Two levels of generation, both deterministic functions of the seed:
+
+* :func:`random_recipe` -- the structured generator: builds a
+  :class:`~repro.fuzz.recipe.Recipe` through :mod:`repro.lang.builder`,
+  so every program is wave-disciplined and runs to completion on every
+  backend.  This is what the differential campaign executes.
+* :func:`random_graph` -- the raw instruction-level generator
+  (promoted from the PR 7 analyzer fuzz): forward-edge token graphs
+  with unguarded STEERs, some of which genuinely starve.  Too wild for
+  output differencing, exactly right for exercising the token-flow
+  fixed point's deadlock reasoning.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..isa import DataflowGraph, Dest, Instruction, Opcode, make_token
+from .recipe import FLOAT_OPS, INT_OPS, BranchSpec, LoopSpec, Recipe
+
+#: Generation weights: compute dominates, memory ops are common,
+#: pool-crossing conversions are occasional.
+_KIND_WEIGHTS = (
+    [(k, 4) for k in INT_OPS]
+    + [(k, 3) for k in FLOAT_OPS]
+    + [("load", 3), ("fload", 2), ("store", 3), ("sload", 2), ("i2f", 2)]
+)
+_KINDS = [k for k, w in _KIND_WEIGHTS for _ in range(w)]
+
+
+def _ops(rng: random.Random, n: int, kinds=None) -> list:
+    pool = kinds if kinds is not None else _KINDS
+    return [
+        [rng.choice(pool), rng.randrange(16), rng.randrange(16)]
+        for _ in range(n)
+    ]
+
+
+def random_recipe(seed: int) -> Recipe:
+    """The structured fuzz program for ``seed`` (pure function)."""
+    rng = random.Random(seed)
+    loop = None
+    if rng.random() < 0.75:
+        loop = LoopSpec(
+            trip=rng.randint(1, 6),
+            k=rng.choice([None, 1, 2, 3]),
+            carried_int=rng.randint(1, 2),
+            carried_float=rng.randint(0, 2),
+            body=_ops(rng, rng.randint(1, 10)),
+        )
+    branch = None
+    if rng.random() < 0.45:
+        compute = list(INT_OPS)
+        branch = BranchSpec(
+            pred=rng.randrange(16),
+            width=rng.randint(1, 3),
+            then_ops=_ops(rng, rng.randint(0, 4), kinds=compute),
+            else_ops=_ops(rng, rng.randint(0, 4), kinds=compute),
+        )
+    return Recipe(
+        seed=seed,
+        entry=rng.randint(-9, 9),
+        idata=[rng.randint(-9, 9) for _ in range(rng.randint(1, 8))],
+        fdata=[round(rng.uniform(-2.0, 2.0), 3)
+               for _ in range(rng.randint(1, 6))],
+        scratch=rng.randint(1, 6),
+        pre=_ops(rng, rng.randint(0, 8)),
+        loop=loop,
+        branch=branch,
+        post=_ops(rng, rng.randint(0, 6)),
+        outputs=[rng.randrange(32) for _ in range(rng.randint(1, 3))],
+    )
+
+
+# ----------------------------------------------------------------------
+# Raw instruction-level generator (PR 7's analyzer fuzz)
+# ----------------------------------------------------------------------
+UNARY = (Opcode.NEG, Opcode.NOT, Opcode.ABS)
+BINARY = (Opcode.ADD, Opcode.SUB, Opcode.MIN, Opcode.MAX, Opcode.XOR)
+
+
+def random_graph(seed: int) -> DataflowGraph:
+    """Forward-edge token graph: every input port has exactly one
+    source (entry token or producer), optionally routed through STEER
+    -- so most instances complete while STEER starvation still
+    produces genuinely stuck programs."""
+    rng = random.Random(seed)
+    n = rng.randint(3, 12)
+    opcodes = []
+    for i in range(n):
+        if i == 0:
+            opcodes.append(rng.choice(UNARY))
+        elif rng.random() < 0.15:
+            opcodes.append(Opcode.STEER)
+        else:
+            opcodes.append(rng.choice(UNARY + BINARY))
+    dests: list[list[Dest]] = [[] for _ in range(n)]
+    false_dests: list[list[Dest]] = [[] for _ in range(n)]
+    entry = []
+    for i in range(n):
+        for port in range(opcodes[i].arity):
+            producers = [
+                j for j in range(i)
+                if len(dests[j]) + len(false_dests[j]) < 4
+            ]
+            if i == 0 or not producers or rng.random() < 0.35:
+                entry.append(
+                    make_token(0, 0, i, port, rng.randint(1, 9))
+                )
+                continue
+            j = rng.choice(producers)
+            if opcodes[j] is Opcode.STEER and rng.random() < 0.5:
+                false_dests[j].append(Dest(i, port))
+            else:
+                dests[j].append(Dest(i, port))
+    instructions = [
+        Instruction(i, opcodes[i], dests=tuple(dests[i]),
+                    false_dests=tuple(false_dests[i])
+                    if opcodes[i] is Opcode.STEER else ())
+        for i in range(n)
+    ]
+    return DataflowGraph(
+        instructions=instructions, entry_tokens=entry,
+        name=f"fuzz{seed}",
+    )

@@ -1,0 +1,169 @@
+"""Delta-debugging minimizer for divergent recipes.
+
+Classic ddmin over every op list in the recipe, interleaved with
+structural simplifications (drop the branch, drop the loop, trip to
+1, shrink data segments, one output), iterated to a fixpoint.  The
+interestingness predicate re-runs the differential harness and asks
+whether a divergence *of the same kind* persists; recipes are
+declarative (operand refs resolve modulo the live pool), so every
+candidate the minimizer proposes is buildable and the predicate never
+has to special-case construction failures -- though it still treats
+any crash as "not interesting" for safety.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable
+
+from .recipe import Recipe, build_graph
+
+#: Structural shrink passes, tried cheapest-result-first each round.
+_MAX_ROUNDS = 12
+
+
+def ddmin(items: list, interesting: Callable[[list], bool]) -> list:
+    """Zeller's ddmin: the returned subsequence is 1-minimal (removing
+    any single remaining chunk of granularity 1 loses the property)."""
+    if not items or not interesting(items):
+        return items
+    n = 2
+    current = list(items)
+    while len(current) >= 2:
+        chunk = max(1, len(current) // n)
+        subsets = [
+            current[i:i + chunk] for i in range(0, len(current), chunk)
+        ]
+        reduced = False
+        for i, subset in enumerate(subsets):
+            complement = [
+                x for j, s in enumerate(subsets) if j != i for x in s
+            ]
+            if complement and interesting(complement):
+                current = complement
+                n = max(2, n - 1)
+                reduced = True
+                break
+            if not complement and interesting(complement):
+                return []
+        if not reduced:
+            if n >= len(current):
+                break
+            n = min(len(current), n * 2)
+    # Final sweep: try dropping each remaining item singly (covers the
+    # empty-list case ddmin's complement loop skips).
+    i = 0
+    while i < len(current):
+        candidate = current[:i] + current[i + 1:]
+        if interesting(candidate):
+            current = candidate
+        else:
+            i += 1
+    return current
+
+
+def graph_size(recipe: Recipe) -> int:
+    """The minimization metric: static instructions in the built
+    graph."""
+    return len(build_graph(recipe))
+
+
+def _structural_candidates(recipe: Recipe) -> list:
+    """One-step structural simplifications, most aggressive first."""
+    candidates = []
+    if recipe.branch is not None:
+        candidates.append(replace(recipe, branch=None))
+    if recipe.loop is not None:
+        candidates.append(replace(recipe, loop=None))
+        if recipe.loop.trip > 1:
+            candidates.append(replace(
+                recipe, loop=replace(recipe.loop, trip=1)
+            ))
+        if recipe.loop.carried_float > 0:
+            candidates.append(replace(
+                recipe, loop=replace(recipe.loop, carried_float=0)
+            ))
+        if recipe.loop.carried_int > 1:
+            candidates.append(replace(
+                recipe, loop=replace(recipe.loop, carried_int=1)
+            ))
+    if len(recipe.idata) > 1:
+        candidates.append(replace(recipe, idata=recipe.idata[:1]))
+    if len(recipe.fdata) > 1:
+        candidates.append(replace(recipe, fdata=recipe.fdata[:1]))
+    if recipe.scratch > 1:
+        candidates.append(replace(recipe, scratch=1))
+    if len(recipe.outputs) > 1:
+        candidates.append(replace(recipe, outputs=recipe.outputs[:1]))
+    if recipe.pre:
+        candidates.append(replace(recipe, pre=[]))
+    if recipe.post:
+        candidates.append(replace(recipe, post=[]))
+    return candidates
+
+
+def _minimize_op_lists(recipe: Recipe,
+                       interesting: Callable[[Recipe], bool]) -> Recipe:
+    current = recipe
+
+    def shrink(get_ops, set_ops):
+        nonlocal current
+        ops = get_ops(current)
+        if not ops:
+            return
+        reduced = ddmin(
+            list(ops), lambda sub: interesting(set_ops(current, sub))
+        )
+        if len(reduced) < len(ops):
+            current = set_ops(current, reduced)
+
+    shrink(lambda r: r.pre, lambda r, ops: replace(r, pre=ops))
+    shrink(lambda r: r.post, lambda r, ops: replace(r, post=ops))
+    if current.loop is not None:
+        shrink(
+            lambda r: r.loop.body,
+            lambda r, ops: replace(r, loop=replace(r.loop, body=ops)),
+        )
+    if current.branch is not None:
+        shrink(
+            lambda r: r.branch.then_ops,
+            lambda r, ops: replace(
+                r, branch=replace(r.branch, then_ops=ops)
+            ),
+        )
+        shrink(
+            lambda r: r.branch.else_ops,
+            lambda r, ops: replace(
+                r, branch=replace(r.branch, else_ops=ops)
+            ),
+        )
+    return current
+
+
+def minimize_recipe(
+    recipe: Recipe,
+    interesting: Callable[[Recipe], bool],
+) -> Recipe:
+    """Shrink ``recipe`` while ``interesting`` (the
+    divergence-persists predicate) holds.  Returns the smallest
+    still-interesting recipe found."""
+
+    def safe(candidate: Recipe) -> bool:
+        try:
+            return interesting(candidate)
+        except Exception:
+            return False
+
+    if not safe(recipe):
+        return recipe
+    current = recipe
+    for _ in range(_MAX_ROUNDS):
+        before = graph_size(current)
+        for candidate in _structural_candidates(current):
+            if graph_size(candidate) < graph_size(current) and \
+                    safe(candidate):
+                current = candidate
+        current = _minimize_op_lists(current, safe)
+        if graph_size(current) >= before:
+            break
+    return current

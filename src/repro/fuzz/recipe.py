@@ -1,0 +1,292 @@
+"""Recipes: declarative, JSON-serializable fuzz programs.
+
+A :class:`Recipe` is the unit the fuzzer generates, the differential
+harness executes, and the minimizer shrinks.  It is *declarative* on
+purpose: operand references are indices resolved modulo the live
+value pool at build time, so **any** subsequence of any op list still
+builds a structurally valid graph -- exactly the property delta
+debugging needs (dropping ops can change what a program computes but
+never makes it unbuildable).
+
+The vocabulary is the deterministic subset of the ISA: integer ops
+(with multiply/shift results wrapped so values stay bounded), float
+add/sub/mul (no float-to-int, which could overflow on runaway
+products), wave-ordered loads/stores against fixed segments with
+addresses wrapped into range, one counted loop with carried
+int/float state, and one if/else with compute-only arms.  Every
+recipe therefore runs to completion on every backend; any observable
+disagreement is a bug in an engine, the analyzer, or the harness --
+never an artifact of the program itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..isa.graph import DataflowGraph
+from ..lang.builder import GraphBuilder, Node
+
+#: Multiply/shift results wrap to this modulus so integer magnitudes
+#: stay bounded across loop iterations.
+WRAP = 2**31
+
+#: Two-operand integer ops (result stays in the int pool).
+INT_OPS = (
+    "add", "sub", "mul", "and", "or", "xor", "min", "max",
+    "shl", "shr", "eq", "lt", "mod",
+)
+#: Two-operand float ops (result stays in the float pool).
+FLOAT_OPS = ("fadd", "fsub", "fmul")
+#: Everything :func:`apply_ops` understands.
+OP_KINDS = INT_OPS + FLOAT_OPS + ("i2f", "load", "fload", "store", "sload")
+
+_INT_METHODS = {
+    "add": "add", "sub": "sub", "mul": "mul", "and": "and_",
+    "or": "or_", "xor": "xor", "min": "min_", "max": "max_",
+    "shl": "shl", "shr": "shr", "eq": "eq", "lt": "lt", "mod": "mod",
+}
+_FLOAT_METHODS = {"fadd": "fadd", "fsub": "fsub", "fmul": "fmul"}
+
+
+@dataclass
+class LoopSpec:
+    """One counted loop: ``trip`` iterations, ``body`` ops, and
+    ``carried_int``/``carried_float`` values threaded between
+    iterations (picked from the pool ends)."""
+
+    trip: int = 2
+    k: Optional[int] = 2
+    carried_int: int = 1
+    carried_float: int = 0
+    body: list = field(default_factory=list)
+
+
+@dataclass
+class BranchSpec:
+    """One if/else on value parity with compute-only arms; both arms
+    return ``width`` values that merge back into the int pool."""
+
+    pred: int = 0
+    width: int = 1
+    then_ops: list = field(default_factory=list)
+    else_ops: list = field(default_factory=list)
+
+
+@dataclass
+class Recipe:
+    seed: int = 0
+    entry: int = 1
+    idata: list = field(default_factory=lambda: [3])
+    fdata: list = field(default_factory=lambda: [1.5])
+    scratch: int = 4
+    pre: list = field(default_factory=list)
+    loop: Optional[LoopSpec] = None
+    branch: Optional[BranchSpec] = None
+    post: list = field(default_factory=list)
+    outputs: list = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        doc = {
+            "seed": self.seed, "entry": self.entry,
+            "idata": list(self.idata), "fdata": list(self.fdata),
+            "scratch": self.scratch, "pre": list(self.pre),
+            "post": list(self.post), "outputs": list(self.outputs),
+        }
+        if self.loop is not None:
+            doc["loop"] = {
+                "trip": self.loop.trip, "k": self.loop.k,
+                "carried_int": self.loop.carried_int,
+                "carried_float": self.loop.carried_float,
+                "body": list(self.loop.body),
+            }
+        if self.branch is not None:
+            doc["branch"] = {
+                "pred": self.branch.pred, "width": self.branch.width,
+                "then_ops": list(self.branch.then_ops),
+                "else_ops": list(self.branch.else_ops),
+            }
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "Recipe":
+        loop = None
+        if doc.get("loop") is not None:
+            ld = doc["loop"]
+            loop = LoopSpec(
+                trip=ld.get("trip", 2), k=ld.get("k", 2),
+                carried_int=ld.get("carried_int", 1),
+                carried_float=ld.get("carried_float", 0),
+                body=[list(op) for op in ld.get("body", [])],
+            )
+        branch = None
+        if doc.get("branch") is not None:
+            bd = doc["branch"]
+            branch = BranchSpec(
+                pred=bd.get("pred", 0), width=bd.get("width", 1),
+                then_ops=[list(op) for op in bd.get("then_ops", [])],
+                else_ops=[list(op) for op in bd.get("else_ops", [])],
+            )
+        return cls(
+            seed=doc.get("seed", 0), entry=doc.get("entry", 1),
+            idata=list(doc.get("idata", [3])),
+            fdata=list(doc.get("fdata", [1.5])),
+            scratch=doc.get("scratch", 4),
+            pre=[list(op) for op in doc.get("pre", [])],
+            loop=loop, branch=branch,
+            post=[list(op) for op in doc.get("post", [])],
+            outputs=list(doc.get("outputs", [])),
+        )
+
+
+class _Ctx:
+    """Per-region build state: the live value pools plus segment-base
+    nodes usable from the current region."""
+
+    def __init__(self, b: GraphBuilder, ints: list, floats: list,
+                 bases: dict) -> None:
+        self.b = b
+        self.ints = ints
+        self.floats = floats
+        self.bases = bases  # name -> (base Node, length int)
+
+
+def _pick(pool: list, ref: int) -> Node:
+    return pool[ref % len(pool)]
+
+
+def apply_ops(ctx: _Ctx, ops: list, memory: bool = True) -> None:
+    """Apply one op list against the context pools.
+
+    Unknown kinds and ops whose required pool is empty are skipped
+    (never an error): the minimizer relies on every subsequence being
+    applicable.  ``memory=False`` restricts to pure compute (branch
+    arms, where stores would need steered wave-ordering chains).
+    """
+    b = ctx.b
+    for op in ops:
+        kind, a_ref, b_ref = op[0], int(op[1]), int(op[2])
+        if kind in _INT_METHODS:
+            if not ctx.ints:
+                continue
+            x = _pick(ctx.ints, a_ref)
+            y = _pick(ctx.ints, b_ref)
+            node = getattr(b, _INT_METHODS[kind])(x, y)
+            if kind in ("mul", "shl"):
+                node = b.mod(node, b.const(WRAP, node))
+            ctx.ints.append(node)
+        elif kind in _FLOAT_METHODS:
+            if not ctx.floats:
+                continue
+            x = _pick(ctx.floats, a_ref)
+            y = _pick(ctx.floats, b_ref)
+            ctx.floats.append(getattr(b, _FLOAT_METHODS[kind])(x, y))
+        elif kind == "i2f":
+            if not ctx.ints:
+                continue
+            ctx.floats.append(b.i2f(_pick(ctx.ints, a_ref)))
+        elif kind == "load" and memory:
+            base, length = ctx.bases["idata"]
+            idx = b.mod(_pick(ctx.ints, a_ref), b.const(length, base))
+            ctx.ints.append(b.load(b.add(base, idx)))
+        elif kind == "fload" and memory:
+            base, length = ctx.bases["fdata"]
+            idx = b.mod(_pick(ctx.ints, a_ref), b.const(length, base))
+            ctx.floats.append(b.load(b.add(base, idx)))
+        elif kind == "store" and memory:
+            base, length = ctx.bases["scratch"]
+            idx = b.mod(_pick(ctx.ints, b_ref), b.const(length, base))
+            b.store(b.add(base, idx), _pick(ctx.ints, a_ref))
+        elif kind == "sload" and memory:
+            base, length = ctx.bases["scratch"]
+            idx = b.mod(_pick(ctx.ints, a_ref), b.const(length, base))
+            ctx.ints.append(b.load(b.add(base, idx)))
+
+
+def _region_bases(b: GraphBuilder, trigger: Node, segments: dict) -> dict:
+    """Fresh base-address const nodes for the current region."""
+    return {
+        name: (b.const(base, trigger), length)
+        for name, (base, length) in segments.items()
+    }
+
+
+def build_graph(recipe: Recipe) -> DataflowGraph:
+    """Materialize a recipe into a verified :class:`DataflowGraph`."""
+    b = GraphBuilder(f"fuzz_s{recipe.seed}")
+    idata = [int(v) for v in recipe.idata] or [3]
+    fdata = [float(v) for v in recipe.fdata] or [1.5]
+    scratch_len = max(1, int(recipe.scratch))
+    segments = {
+        "idata": (b.data("idata", idata), len(idata)),
+        "fdata": (b.data("fdata", fdata), len(fdata)),
+        "scratch": (b.alloc("scratch", scratch_len), scratch_len),
+    }
+
+    t = b.entry(int(recipe.entry))
+    ctx = _Ctx(b, [t, b.const(5, t)], [b.const(0.25, t)],
+               _region_bases(b, t, segments))
+    apply_ops(ctx, recipe.pre)
+
+    if recipe.loop is not None:
+        lp_spec = recipe.loop
+        trip = max(1, min(int(lp_spec.trip), 8))
+        ci = max(1, min(int(lp_spec.carried_int), 4))
+        cf = max(0, min(int(lp_spec.carried_float), 4))
+        init_ints = [ctx.ints[-(i % len(ctx.ints)) - 1] for i in range(ci)]
+        init_floats = [
+            ctx.floats[-(i % len(ctx.floats)) - 1] for i in range(cf)
+        ]
+        anchor = ctx.ints[0]
+        lp = b.loop(
+            [b.const(0, anchor)] + init_ints + init_floats,
+            invariants=[b.const(trip, anchor)] + [
+                node for node, _ in ctx.bases.values()
+            ],
+            k=lp_spec.k,
+            label="fuzzloop",
+        )
+        idx = lp.state[0]
+        body_ints = list(lp.state[1:1 + ci])
+        body_floats = list(lp.state[1 + ci:])
+        limit = lp.invariants[0]
+        body_bases = {
+            name: (lp.invariants[1 + i], segments[name][1])
+            for i, name in enumerate(ctx.bases)
+        }
+        bctx = _Ctx(b, [idx] + body_ints, body_floats, body_bases)
+        apply_ops(bctx, lp_spec.body)
+        next_ints = [bctx.ints[-(i % len(bctx.ints)) - 1]
+                     for i in range(ci)]
+        next_floats = [bctx.floats[-(i % len(bctx.floats)) - 1]
+                       for i in range(cf)]
+        idx2 = b.add(idx, b.const(1, idx))
+        lp.next_iteration(b.lt(idx2, limit),
+                          [idx2] + next_ints + next_floats)
+        exits = lp.end()
+        post_trigger = exits[0]
+        ctx = _Ctx(b, list(exits[:1 + ci]), list(exits[1 + ci:]),
+                   _region_bases(b, post_trigger, segments))
+
+    if recipe.branch is not None:
+        br_spec = recipe.branch
+        width = max(1, min(int(br_spec.width), len(ctx.ints)))
+        pred_src = _pick(ctx.ints, br_spec.pred)
+        pred = b.eq(b.mod(pred_src, b.const(2, pred_src)),
+                    b.const(0, pred_src))
+        br = b.if_else(pred, ctx.ints[-width:])
+        then_ctx = _Ctx(b, list(br.then_values()), [], {})
+        apply_ops(then_ctx, br_spec.then_ops, memory=False)
+        br.then_result(then_ctx.ints[-width:])
+        else_ctx = _Ctx(b, list(br.else_values()), [], {})
+        apply_ops(else_ctx, br_spec.else_ops, memory=False)
+        br.else_result(else_ctx.ints[-width:])
+        ctx.ints.extend(br.end())
+
+    apply_ops(ctx, recipe.post)
+
+    pool = ctx.ints + ctx.floats
+    refs = list(recipe.outputs) or [len(ctx.ints) - 1]
+    for ref in refs[:4]:
+        b.output(pool[int(ref) % len(pool)])
+    return b.finalize()

@@ -24,6 +24,7 @@ the valid set listed.
 
 from __future__ import annotations
 
+import enum
 from typing import Optional
 
 __all__ = [
@@ -52,12 +53,24 @@ class UnknownBackendError(ValueError):
         self.name = name
 
 
-def validate_backend(name: str) -> str:
-    """Return ``name`` if it is a registered backend, else raise
-    :class:`UnknownBackendError` listing the valid set."""
-    if name not in BACKENDS:
+def validate_backend(name: object) -> str:
+    """Normalize ``name`` to a registered backend string.
+
+    Accepts the canonical strings (whitespace/case tolerated, for
+    misparsed CLI values) and string-valued enum members from
+    programmatic callers.  Everything else -- ``None``, bytes, numbers
+    -- raises :class:`UnknownBackendError` listing the valid set, never
+    ``TypeError``, so every selection point fails the same way.
+    """
+    candidate = name
+    if isinstance(candidate, enum.Enum):
+        candidate = candidate.value
+    if not isinstance(candidate, str):
         raise UnknownBackendError(name)
-    return name
+    candidate = candidate.strip().lower()
+    if candidate not in BACKENDS:
+        raise UnknownBackendError(name)
+    return candidate
 
 
 def batched_available() -> bool:

@@ -11,6 +11,7 @@ from .registry import (
     MEDIA_NAMES,
     SPEC_NAMES,
     SPLASH_NAMES,
+    TENSOR_NAMES,
     WORKLOADS,
     all_names,
     by_suite,
@@ -30,6 +31,7 @@ __all__ = [
     "MEDIA_NAMES",
     "SPEC_NAMES",
     "SPLASH_NAMES",
+    "TENSOR_NAMES",
     "WORKLOADS",
     "all_names",
     "by_suite",

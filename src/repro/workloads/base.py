@@ -24,11 +24,13 @@ from ..isa.graph import DataflowGraph
 
 
 class Suite(enum.Enum):
-    """The three workload groups of Section 2.2."""
+    """The workload groups: Section 2.2's three suites plus the
+    dense-tensor family the 2006 study predates."""
 
     SPEC = "spec"
     MEDIA = "mediabench"
     SPLASH = "splash2"
+    TENSOR = "tensor"
 
 
 class Scale(enum.Enum):

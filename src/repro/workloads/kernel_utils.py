@@ -7,17 +7,18 @@ from typing import Callable, Sequence
 from ..lang.builder import GraphBuilder, Node
 
 
-def reduce_tree(
-    b: GraphBuilder, nodes: Sequence[Node], op: Callable[[Node, Node], Node]
-) -> Node:
-    """Combine ``nodes`` pairwise with ``op`` (balanced tree).
+def pairwise_reduce(items: Sequence, op: Callable) -> object:
+    """THE pairwise (balanced-tree) combination order.
 
-    Used by Splash2 masters to join per-thread partial results with
-    log-depth rather than a serial chain.
+    Both the graph-side reduction (:func:`reduce_tree`) and the
+    pure-Python reference mirror (:func:`reduce_values`) delegate here,
+    so the simulator and reference floating-point results cannot
+    silently drift apart: any change to the order changes both sides
+    at once, and the kernel mirror tests catch a change to either.
     """
-    if not nodes:
+    if not items:
         raise ValueError("nothing to reduce")
-    level = list(nodes)
+    level = list(items)
     while len(level) > 1:
         nxt = []
         for i in range(0, len(level) - 1, 2):
@@ -26,6 +27,17 @@ def reduce_tree(
             nxt.append(level[-1])
         level = nxt
     return level[0]
+
+
+def reduce_tree(
+    b: GraphBuilder, nodes: Sequence[Node], op: Callable[[Node, Node], Node]
+) -> Node:
+    """Combine ``nodes`` pairwise with ``op`` (balanced tree).
+
+    Used by Splash2 masters to join per-thread partial results with
+    log-depth rather than a serial chain.
+    """
+    return pairwise_reduce(nodes, op)
 
 
 def reduce_values(values: Sequence, op: Callable) -> object:
@@ -35,17 +47,7 @@ def reduce_values(values: Sequence, op: Callable) -> object:
     per-thread results in exactly this order so floating-point results
     match the simulator bit-for-bit.
     """
-    if not values:
-        raise ValueError("nothing to reduce")
-    level = list(values)
-    while len(level) > 1:
-        nxt = []
-        for i in range(0, len(level) - 1, 2):
-            nxt.append(op(level[i], level[i + 1]))
-        if len(level) % 2:
-            nxt.append(level[-1])
-        level = nxt
-    return level[0]
+    return pairwise_reduce(values, op)
 
 
 def spawn_workers(

@@ -1,10 +1,13 @@
-"""The workload registry: the paper's fifteen applications.
+"""The workload registry: the paper's fifteen applications plus the
+dense-tensor family.
 
 Section 2.2's suites, with each original's role noted:
 
 * Spec2000 (single-threaded): ammp, art, equake, gzip, twolf, mcf.
 * Mediabench: rawdaudio, mpeg2encode, djpeg.
 * Splash2 (multithreaded): fft, lu, ocean, raytrace, water, radix.
+* Tensor (post-paper): tiled GEMM in three stationarity disciplines
+  plus a 3x3 convolution -- see :mod:`repro.workloads.tensor`.
 """
 
 from __future__ import annotations
@@ -13,6 +16,7 @@ from .base import Suite, Workload
 from .media import djpeg, mpeg2encode, rawdaudio
 from .spec import ammp, art, equake, gzip, mcf, twolf
 from .splash import fft, lu, ocean, radix, raytrace, water
+from .tensor import conv, gemm
 
 WORKLOADS: dict[str, Workload] = {}
 
@@ -117,6 +121,32 @@ _register(Workload(
 ))
 
 
+_register(Workload(
+    name="gemm_os", suite=Suite.TENSOR, build=gemm.build_os,
+    reference=gemm.reference, uses_fp=True,
+    description="tiled GEMM, output-stationary (C tile in carried state)",
+    default_k=3,
+))
+_register(Workload(
+    name="gemm_ws", suite=Suite.TENSOR, build=gemm.build_ws,
+    reference=gemm.reference, uses_fp=True,
+    description="tiled GEMM, weight-stationary (B tile carried, C in memory)",
+    default_k=3,
+))
+_register(Workload(
+    name="gemm_is", suite=Suite.TENSOR, build=gemm.build_is,
+    reference=gemm.reference, uses_fp=True,
+    description="tiled GEMM, input-stationary (A tile carried, C in memory)",
+    default_k=3,
+))
+_register(Workload(
+    name="conv3x3", suite=Suite.TENSOR, build=conv.build,
+    reference=conv.reference, uses_fp=True,
+    description="3x3 valid convolution, weights pinned as loop invariants",
+    default_k=3,
+))
+
+
 def by_suite(suite: Suite) -> list[Workload]:
     return [w for w in WORKLOADS.values() if w.suite is suite]
 
@@ -137,3 +167,4 @@ def all_names() -> list[str]:
 SPEC_NAMES = tuple(sorted(w.name for w in by_suite(Suite.SPEC)))
 MEDIA_NAMES = tuple(sorted(w.name for w in by_suite(Suite.MEDIA)))
 SPLASH_NAMES = tuple(sorted(w.name for w in by_suite(Suite.SPLASH)))
+TENSOR_NAMES = tuple(sorted(w.name for w in by_suite(Suite.TENSOR)))

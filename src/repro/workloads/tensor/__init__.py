@@ -1,0 +1,16 @@
+"""Tensor workload family: tiled dense GEMM and convolution.
+
+The paper's 15-workload study (Section 2.2) predates dense tensor
+dataflow; this family asks the modern question -- which tile
+geometries and operand-stationarity disciplines win on a tiled
+dataflow fabric?  Each kernel takes explicit tiling parameters
+(``tile_m``/``tile_n``/``tile_k``) and expresses one of the classic
+accelerator dataflows (output-, weight-, or input-stationary,
+SCALE-Sim terminology) as wave/loop structure in :mod:`repro.lang`:
+the *stationary* operand is held in loop-carried state across the
+tile walk, everything else streams through wave-ordered memory.
+"""
+
+from . import conv, gemm
+
+__all__ = ["conv", "gemm"]

@@ -1,0 +1,339 @@
+"""Tiled dense GEMM (C = A @ B) with selectable operand stationarity.
+
+The kernel walks the (M/tile_m) x (N/tile_n) x (K/tile_k) tile grid in
+one counted loop; ``dataflow`` picks which operand is *stationary* --
+held in loop-carried state instead of re-streamed from memory -- and
+fixes the tile-walk order that makes holding it legal:
+
+* ``"output"`` -- k innermost; the C tile lives in carried
+  accumulators, written back once per tile (one store per output
+  element total).
+* ``"weight"`` -- the B tile loads only when the row walk restarts
+  (ti == 0) and is carried across all M/tile_m row tiles; C partials
+  accumulate through memory (load + store per element per k step).
+* ``"input"`` -- the A tile loads only when the column walk restarts
+  (tj == 0) and is carried across all N/tile_n column tiles; B
+  streams, C partials accumulate through memory.
+
+Every variant performs the identical floating-point operation
+sequence per C element (k ascending, left fold from 0.0), so all
+three produce bit-identical outputs -- what differs is the memory
+traffic and the loop-carried state, which is exactly the
+area/performance question the tiling study asks.
+"""
+
+from __future__ import annotations
+
+from ...isa.graph import DataflowGraph
+from ...lang.builder import GraphBuilder, Node
+from ..base import Scale, scaled
+from ..data import float_array
+
+#: Output rows (scaled); columns / depth are fixed so dynamic work
+#: grows linearly with scale.
+BASE_M = 4
+N = 6
+K = 6
+
+DATAFLOWS = ("output", "weight", "input")
+
+
+def _dims(scale: Scale) -> tuple[int, int, int]:
+    return scaled(BASE_M, scale), N, K
+
+
+def _inputs(seed: int, scale: Scale):
+    m, n, k = _dims(scale)
+    a = float_array(seed, "gemm.A", m * k)
+    b = float_array(seed, "gemm.B", k * n)
+    return a, b, m, n, k
+
+
+def _check_tiles(m: int, n: int, k: int,
+                 tile_m: int, tile_n: int, tile_k: int) -> None:
+    for dim, tile, label in ((m, tile_m, "tile_m"), (n, tile_n, "tile_n"),
+                             (k, tile_k, "tile_k")):
+        if tile < 1 or dim % tile:
+            raise ValueError(
+                f"gemm: {label}={tile} must be >= 1 and divide {dim}"
+            )
+
+
+def _elem_addr(b: GraphBuilder, base: Node, row: Node, col: Node,
+               ncols: int) -> Node:
+    """base + row * ncols + col, as graph nodes."""
+    return b.add(base, b.add(b.mul(row, b.const(ncols, row)), col))
+
+
+def _checksum_loop(b: GraphBuilder, trigger: Node, c_base: int,
+                   n_elems: int, k: int | None) -> Node:
+    """Row-major readback of the C array, left-folded from 0.0."""
+    lp = b.loop(
+        [b.const(0, trigger), b.const(0.0, trigger)],
+        invariants=[b.const(n_elems, trigger), b.const(c_base, trigger)],
+        k=k,
+        label="readback",
+    )
+    j, total = lp.state
+    limit, base = lp.invariants
+    total2 = b.fadd(total, b.load(b.add(base, j)))
+    j2 = b.add(j, b.const(1, j))
+    lp.next_iteration(b.lt(j2, limit), [j2, total2])
+    exits = lp.end()
+    return exits[1]
+
+
+def build(scale: Scale = Scale.SMALL, k: int | None = 3, seed: int = 0,
+          dataflow: str = "output", tile_m: int = 2, tile_n: int = 2,
+          tile_k: int = 2) -> DataflowGraph:
+    if dataflow not in DATAFLOWS:
+        raise ValueError(
+            f"gemm: unknown dataflow {dataflow!r}; pick from {DATAFLOWS}"
+        )
+    a_vals, b_vals, m, n, kd = _inputs(seed, scale)
+    _check_tiles(m, n, kd, tile_m, tile_n, tile_k)
+    mt, nt, kt = m // tile_m, n // tile_n, kd // tile_k
+
+    b = GraphBuilder(f"gemm_{dataflow[0]}s")
+    a_base = b.data("A", a_vals)
+    b_base = b.data("B", b_vals)
+    c_base = b.alloc("C", m * n)
+    t = b.entry(0)
+
+    if dataflow == "output":
+        graph_trigger = _build_output_stationary(
+            b, t, a_base, b_base, c_base, m, n, kd,
+            tile_m, tile_n, tile_k, mt, nt, kt, k,
+        )
+    elif dataflow == "weight":
+        graph_trigger = _build_memory_accumulating(
+            b, t, a_base, b_base, c_base, m, n, kd,
+            tile_m, tile_n, tile_k, mt, nt, kt, k, stationary="weight",
+        )
+    else:
+        graph_trigger = _build_memory_accumulating(
+            b, t, a_base, b_base, c_base, m, n, kd,
+            tile_m, tile_n, tile_k, mt, nt, kt, k, stationary="input",
+        )
+
+    total = _checksum_loop(b, graph_trigger, c_base, m * n, k)
+    b.output(total, label="checksum")
+    return b.finalize()
+
+
+def _build_output_stationary(
+    b: GraphBuilder, t: Node, a_base: int, b_base: int, c_base: int,
+    m: int, n: int, kd: int, tile_m: int, tile_n: int, tile_k: int,
+    mt: int, nt: int, kt: int, k: int | None,
+) -> Node:
+    """Walk (ti, tj) outer, tk inner; C tile in carried accumulators."""
+    trip = mt * nt * kt
+    n_acc = tile_m * tile_n
+    lp = b.loop(
+        [b.const(0, t)] + [b.const(0.0, t) for _ in range(n_acc)],
+        invariants=[
+            b.const(trip, t), b.const(a_base, t), b.const(b_base, t),
+            b.const(c_base, t),
+        ],
+        k=k,
+        label="tiles",
+    )
+    idx = lp.state[0]
+    accs = lp.state[1:]
+    limit, a_b, b_b, c_b = lp.invariants
+
+    ti = b.div(idx, b.const(nt * kt, idx))
+    rem = b.mod(idx, b.const(nt * kt, idx))
+    tj = b.div(rem, b.const(kt, rem))
+    tk = b.mod(rem, b.const(kt, rem))
+    first_k = b.eq(tk, b.const(0, tk))
+    last_k = b.eq(tk, b.const(kt - 1, tk))
+    row0 = b.mul(ti, b.const(tile_m, ti))
+    col0 = b.mul(tj, b.const(tile_n, tj))
+    k0 = b.mul(tk, b.const(tile_k, tk))
+
+    a_tile = [
+        [b.load(_elem_addr(b, a_b, b.add(row0, b.const(r, row0)),
+                           b.add(k0, b.const(kk, k0)), kd))
+         for kk in range(tile_k)]
+        for r in range(tile_m)
+    ]
+    b_tile = [
+        [b.load(_elem_addr(b, b_b, b.add(k0, b.const(kk, k0)),
+                           b.add(col0, b.const(cc, col0)), n))
+         for cc in range(tile_n)]
+        for kk in range(tile_k)
+    ]
+    zero = b.const(0.0, idx)
+    next_accs = []
+    for r in range(tile_m):
+        for cc in range(tile_n):
+            cur = b.merge_select(zero, accs[r * tile_n + cc], first_k)
+            for kk in range(tile_k):
+                cur = b.fadd(cur, b.fmul(a_tile[r][kk], b_tile[kk][cc]))
+            next_accs.append(cur)
+
+    # Write the finished tile back exactly once (tk == kt - 1).
+    c_addrs = [
+        _elem_addr(b, c_b, b.add(row0, b.const(r, row0)),
+                   b.add(col0, b.const(cc, col0)), n)
+        for r in range(tile_m) for cc in range(tile_n)
+    ]
+    br = b.if_else(last_k, next_accs + c_addrs)
+    then_vals = br.then_values()
+    for value, addr in zip(then_vals[:n_acc], then_vals[n_acc:]):
+        b.store(addr, value)
+    br.then_result(then_vals[:n_acc])
+    else_vals = br.else_values()
+    br.else_result(else_vals[:n_acc])
+    merged = br.end()
+
+    idx2 = b.add(idx, b.const(1, idx))
+    lp.next_iteration(b.lt(idx2, limit), [idx2] + merged)
+    exits = lp.end()
+    return exits[0]
+
+
+def _build_memory_accumulating(
+    b: GraphBuilder, t: Node, a_base: int, b_base: int, c_base: int,
+    m: int, n: int, kd: int, tile_m: int, tile_n: int, tile_k: int,
+    mt: int, nt: int, kt: int, k: int | None, stationary: str,
+) -> Node:
+    """Weight- or input-stationary walk: the stationary tile is carried
+    and refreshed only when its reuse walk restarts; C partials
+    accumulate through memory (load, fold the tile's k contributions,
+    store back)."""
+    if stationary == "weight":
+        # tk outer, tj middle, ti inner: B(k0, col0) constant while
+        # the row walk runs.
+        trip = kt * nt * mt
+        held_rows, held_cols = tile_k, tile_n
+    else:
+        # ti outer, tk middle, tj inner: A(row0, k0) constant while
+        # the column walk runs.
+        trip = mt * kt * nt
+        held_rows, held_cols = tile_m, tile_k
+    n_held = held_rows * held_cols
+
+    lp = b.loop(
+        [b.const(0, t)] + [b.const(0.0, t) for _ in range(n_held)],
+        invariants=[
+            b.const(trip, t), b.const(a_base, t), b.const(b_base, t),
+            b.const(c_base, t),
+        ],
+        k=k,
+        label="tiles",
+    )
+    idx = lp.state[0]
+    held = lp.state[1:]
+    limit, a_b, b_b, c_b = lp.invariants
+
+    if stationary == "weight":
+        tk = b.div(idx, b.const(nt * mt, idx))
+        rem = b.mod(idx, b.const(nt * mt, idx))
+        tj = b.div(rem, b.const(mt, rem))
+        ti = b.mod(rem, b.const(mt, rem))
+        refresh = b.eq(ti, b.const(0, ti))
+        held_base, held_ncols = b_b, n
+    else:
+        ti = b.div(idx, b.const(kt * nt, idx))
+        rem = b.mod(idx, b.const(kt * nt, idx))
+        tk = b.div(rem, b.const(nt, rem))
+        tj = b.mod(rem, b.const(nt, rem))
+        refresh = b.eq(tj, b.const(0, tj))
+        held_base, held_ncols = a_b, kd
+    row0 = b.mul(ti, b.const(tile_m, ti))
+    col0 = b.mul(tj, b.const(tile_n, tj))
+    k0 = b.mul(tk, b.const(tile_k, tk))
+
+    # Stationary-tile refresh: load fresh on walk restart, else reuse
+    # the carried copy.
+    if stationary == "weight":
+        held_addrs = [
+            _elem_addr(b, held_base, b.add(k0, b.const(r, k0)),
+                       b.add(col0, b.const(cc, col0)), held_ncols)
+            for r in range(held_rows) for cc in range(held_cols)
+        ]
+    else:
+        held_addrs = [
+            _elem_addr(b, held_base, b.add(row0, b.const(r, row0)),
+                       b.add(k0, b.const(cc, k0)), held_ncols)
+            for r in range(held_rows) for cc in range(held_cols)
+        ]
+    br = b.if_else(refresh, list(held) + held_addrs)
+    then_vals = br.then_values()
+    br.then_result([b.load(addr) for addr in then_vals[n_held:]])
+    else_vals = br.else_values()
+    br.else_result(else_vals[:n_held])
+    tile = br.end()
+
+    def held_at(r: int, cc: int) -> Node:
+        return tile[r * held_cols + cc]
+
+    # The streamed operand loads every iteration.
+    if stationary == "weight":
+        a_tile = [
+            [b.load(_elem_addr(b, a_b, b.add(row0, b.const(r, row0)),
+                               b.add(k0, b.const(kk, k0)), kd))
+             for kk in range(tile_k)]
+            for r in range(tile_m)
+        ]
+
+        def operand(r: int, kk: int, cc: int) -> tuple[Node, Node]:
+            return a_tile[r][kk], held_at(kk, cc)
+    else:
+        b_tile = [
+            [b.load(_elem_addr(b, b_b, b.add(k0, b.const(kk, k0)),
+                               b.add(col0, b.const(cc, col0)), n))
+             for cc in range(tile_n)]
+            for kk in range(tile_k)
+        ]
+
+        def operand(r: int, kk: int, cc: int) -> tuple[Node, Node]:
+            return held_at(r, kk), b_tile[kk][cc]
+
+    # C partials through memory: load, fold this tile's k slice, store.
+    for r in range(tile_m):
+        for cc in range(tile_n):
+            addr = _elem_addr(b, c_b, b.add(row0, b.const(r, row0)),
+                              b.add(col0, b.const(cc, col0)), n)
+            cur = b.load(addr)
+            for kk in range(tile_k):
+                av, bv = operand(r, kk, cc)
+                cur = b.fadd(cur, b.fmul(av, bv))
+            b.store(addr, cur)
+
+    idx2 = b.add(idx, b.const(1, idx))
+    lp.next_iteration(b.lt(idx2, limit), [idx2] + list(tile))
+    exits = lp.end()
+    return exits[0]
+
+
+def reference(scale: Scale = Scale.SMALL, seed: int = 0) -> list:
+    """Shared reference: every dataflow performs the same per-element
+    FP sequence (k ascending, left fold from 0.0), so one reference
+    serves all three variants bit-for-bit."""
+    a, b, m, n, kd = _inputs(seed, scale)
+    checksum = 0.0
+    for i in range(m):
+        for j in range(n):
+            cur = 0.0
+            for kk in range(kd):
+                cur = cur + a[i * kd + kk] * b[kk * n + j]
+            checksum = checksum + cur
+    return [checksum]
+
+
+def build_os(scale: Scale = Scale.SMALL, k: int | None = 3,
+             seed: int = 0) -> DataflowGraph:
+    return build(scale, k=k, seed=seed, dataflow="output")
+
+
+def build_ws(scale: Scale = Scale.SMALL, k: int | None = 3,
+             seed: int = 0) -> DataflowGraph:
+    return build(scale, k=k, seed=seed, dataflow="weight")
+
+
+def build_is(scale: Scale = Scale.SMALL, k: int | None = 3,
+             seed: int = 0) -> DataflowGraph:
+    return build(scale, k=k, seed=seed, dataflow="input")

@@ -21,9 +21,11 @@ def test_lint_workload_clean(capsys):
 
 
 def test_lint_default_covers_every_workload(capsys):
+    from repro.workloads import all_names
+
     code, out = run_cli(capsys, "lint")
     assert code == 0
-    assert "linted 15 target(s)" in out
+    assert f"linted {len(all_names())} target(s)" in out
 
 
 def test_lint_examples_directory(capsys):

@@ -9,14 +9,13 @@ Two hundred generated programs, three properties each:
   deadlock on a program the reference interpreter (and, for a
   subsample, the cycle-level engine) runs to completion.
 
-The generator builds forward-edge programs whose every input port has
-exactly one source (an entry token or one producer), optionally
-routed through STEER -- so most instances complete, while STEER
-starvation still produces genuinely stuck programs the strict checks
-must tolerate without a false *proof*.
+The generator (``repro.fuzz.random_graph``, promoted from this file
+into the fuzz package) builds forward-edge programs whose every input
+port has exactly one source (an entry token or one producer),
+optionally routed through STEER -- so most instances complete, while
+STEER starvation still produces genuinely stuck programs the strict
+checks must tolerate without a false *proof*.
 """
-
-import random
 
 import pytest
 
@@ -24,56 +23,11 @@ from repro.analysis.dataflow import (
     MAX_ROUNDS,
     analyze_tokens,
 )
-from repro.isa import DataflowGraph, Dest, Instruction, Opcode, make_token
+from repro.fuzz import random_graph
 from repro.lang.interp import DeadlockError, interpret
 
 N_GRAPHS = 200
 ENGINE_EVERY = 25  # cycle-engine cross-check cadence (it is slower)
-
-UNARY = (Opcode.NEG, Opcode.NOT, Opcode.ABS)
-BINARY = (Opcode.ADD, Opcode.SUB, Opcode.MIN, Opcode.MAX, Opcode.XOR)
-
-
-def random_graph(seed: int) -> DataflowGraph:
-    rng = random.Random(seed)
-    n = rng.randint(3, 12)
-    opcodes = []
-    for i in range(n):
-        if i == 0:
-            opcodes.append(rng.choice(UNARY))
-        elif rng.random() < 0.15:
-            opcodes.append(Opcode.STEER)
-        else:
-            opcodes.append(rng.choice(UNARY + BINARY))
-    dests: list[list[Dest]] = [[] for _ in range(n)]
-    false_dests: list[list[Dest]] = [[] for _ in range(n)]
-    entry = []
-    for i in range(n):
-        for port in range(opcodes[i].arity):
-            producers = [
-                j for j in range(i)
-                if len(dests[j]) + len(false_dests[j]) < 4
-            ]
-            if i == 0 or not producers or rng.random() < 0.35:
-                entry.append(
-                    make_token(0, 0, i, port, rng.randint(1, 9))
-                )
-                continue
-            j = rng.choice(producers)
-            if opcodes[j] is Opcode.STEER and rng.random() < 0.5:
-                false_dests[j].append(Dest(i, port))
-            else:
-                dests[j].append(Dest(i, port))
-    instructions = [
-        Instruction(i, opcodes[i], dests=tuple(dests[i]),
-                    false_dests=tuple(false_dests[i])
-                    if opcodes[i] is Opcode.STEER else ())
-        for i in range(n)
-    ]
-    return DataflowGraph(
-        instructions=instructions, entry_tokens=entry,
-        name=f"fuzz{seed}",
-    )
 
 
 @pytest.mark.parametrize("seed", range(N_GRAPHS))

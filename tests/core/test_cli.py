@@ -197,6 +197,64 @@ def test_sweep_save(capsys, tmp_path):
     assert points and meta["suite"] == "spec"
 
 
+def _write_bench_files(root):
+    (root / "BENCH_good.json").write_text(
+        '{"engine": {"cells_per_s": 12.5}, "wall_s": 3.25}'
+    )
+    (root / "BENCH_empty.json").write_text("")
+    (root / "BENCH_mangled.json").write_text("{not json")
+    (root / "BENCH_scalar.json").write_text("42")
+
+
+def test_bench_summary_degrades_gracefully(capsys, tmp_path):
+    """Bad benchmark artifacts are reported and skipped; the good ones
+    still render, and the default exit stays zero."""
+    _write_bench_files(tmp_path)
+    code = main(["bench-summary", "--root", str(tmp_path)])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "cells_per_s=12.5" in captured.out
+    assert "BENCH_empty.json: empty file" in captured.out
+    assert "BENCH_mangled.json: malformed JSON" in captured.out
+    assert "non-object document: int" in captured.out
+    assert "3 bad benchmark file(s) skipped" in captured.err
+
+
+def test_bench_summary_strict_fails_on_bad_files(capsys, tmp_path):
+    _write_bench_files(tmp_path)
+    code = main(["bench-summary", "--root", str(tmp_path), "--strict"])
+    capsys.readouterr()
+    assert code == 1
+
+
+def test_bench_summary_strict_passes_when_clean(capsys, tmp_path):
+    (tmp_path / "BENCH_good.json").write_text('{"wall_s": 1.0}')
+    code = main(["bench-summary", "--root", str(tmp_path), "--strict"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "wall_s = 1" in out
+
+
+def test_bench_summary_no_files_is_an_error(capsys, tmp_path):
+    code = main(["bench-summary", "--root", str(tmp_path)])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "no BENCH_*.json" in captured.err
+
+
+def test_run_tensor_workload(capsys):
+    code, out = run_cli(capsys, "run", "-w", "gemm_os", "--scale", "tiny")
+    assert code == 0
+    assert "AIPC" in out
+
+
+def test_characterize_tensor_suite(capsys):
+    code, out = run_cli(capsys, "characterize", "--suite", "tensor")
+    assert code == 0
+    for name in ("gemm_os", "gemm_ws", "gemm_is", "conv3x3"):
+        assert name in out
+
+
 def test_report_command(capsys, tmp_path):
     out_file = tmp_path / "report.md"
     code, out = run_cli(

@@ -136,6 +136,47 @@ def test_unknown_backend_raises_listing_valid_set():
         assert name in message
 
 
+@pytest.mark.parametrize("bad", [
+    None, b"plain", 0, 1.5, ["plain"], ("plain",), object(),
+])
+def test_non_string_backend_raises_unknown_not_typeerror(bad):
+    """Programmatic callers passing None/bytes/whatever must get the
+    same UnknownBackendError as a typo'd string, never a TypeError."""
+    with pytest.raises(UnknownBackendError) as excinfo:
+        validate_backend(bad)
+    for name in BACKENDS:
+        assert name in str(excinfo.value)
+
+
+def test_string_valued_enum_backend_accepted():
+    import enum
+
+    class Pick(enum.Enum):
+        PLAIN = "plain"
+        BATCHED = "batched"
+        BOGUS = "turbo"
+
+    assert validate_backend(Pick.PLAIN) == "plain"
+    assert validate_backend(Pick.BATCHED) == "batched"
+    with pytest.raises(UnknownBackendError):
+        validate_backend(Pick.BOGUS)
+
+
+def test_int_valued_enum_backend_rejected():
+    import enum
+
+    class Pick(enum.Enum):
+        PLAIN = 0
+
+    with pytest.raises(UnknownBackendError):
+        validate_backend(Pick.PLAIN)
+
+
+def test_backend_name_normalized_from_cli_noise():
+    assert validate_backend(" plain\n") == "plain"
+    assert validate_backend("Batched") == "batched"
+
+
 def test_processor_rejects_unknown_backend():
     with pytest.raises(UnknownBackendError):
         WaveScalarProcessor(GOLDEN, backend="nope")

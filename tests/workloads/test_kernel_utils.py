@@ -1,0 +1,88 @@
+"""The pairwise-reduction core: one combination order shared by the
+graph-side tree and the pure-Python reference mirror."""
+
+import functools
+
+import pytest
+
+from repro.lang.builder import GraphBuilder
+from repro.lang.interp import interpret
+from repro.workloads.kernel_utils import (
+    pairwise_reduce,
+    reduce_tree,
+    reduce_values,
+)
+
+#: Mixed magnitudes (1 to 1e16) so floating-point addition is visibly
+#: non-associative: regrouping the sum changes the rounding.
+NASTY = [
+    -0.528, 442433810175.333, -0.69, -9603656470538526.0, 0.836,
+    -5561436486193647.0, -2795.102, 65374335.805, -0.571, 65784009.756,
+    6008.957, -67036348.12, 25395120.483, -8265634947301563.0,
+]
+
+
+def test_graph_and_mirror_agree_bit_for_bit():
+    b = GraphBuilder("reduce")
+    t = b.entry(0)
+    nodes = [b.const(v, t) for v in NASTY]
+    b.output(reduce_tree(b, nodes, b.fadd))
+    graph = b.finalize()
+    expected = reduce_values(NASTY, lambda x, y: x + y)
+    assert interpret(graph).output_values() == [expected]
+
+
+def test_both_wrappers_share_the_core_order():
+    """reduce_tree and reduce_values must visit operand pairs in the
+    identical sequence -- they are the same function underneath."""
+    def trace(items):
+        calls = []
+
+        def op(a, b):
+            calls.append((a, b))
+            return f"({a}+{b})"
+
+        pairwise_reduce(items, op)
+        return calls
+
+    items = list("abcdefg")
+
+    def op_tree(a, b):
+        tree_calls.append((a, b))
+        return f"({a}+{b})"
+
+    def op_vals(a, b):
+        val_calls.append((a, b))
+        return f"({a}+{b})"
+
+    tree_calls, val_calls = [], []
+    reduce_tree(None, items, op_tree)
+    reduce_values(items, op_vals)
+    assert tree_calls == val_calls == trace(items)
+
+
+@pytest.mark.parametrize("n", [6, 9, 12, 14])
+def test_drifted_serial_order_is_caught(n):
+    """A serial left fold is the classic silent drift: on
+    non-associative FP data it gives a different answer, so a mirror
+    that drifted to serial order fails the bit-for-bit comparison."""
+    values = NASTY[:n]
+    pairwise = pairwise_reduce(values, lambda x, y: x + y)
+    serial = functools.reduce(lambda x, y: x + y, values)
+    assert pairwise != serial, (
+        "data not adversarial enough to detect order drift"
+    )
+    assert pairwise == reduce_values(values, lambda x, y: x + y)
+
+
+def test_empty_reduction_rejected():
+    with pytest.raises(ValueError, match="nothing to reduce"):
+        pairwise_reduce([], lambda x, y: x + y)
+    with pytest.raises(ValueError, match="nothing to reduce"):
+        reduce_values([], lambda x, y: x + y)
+    with pytest.raises(ValueError, match="nothing to reduce"):
+        reduce_tree(None, [], lambda x, y: x + y)
+
+
+def test_single_item_passes_through():
+    assert pairwise_reduce([42], None) == 42

@@ -9,6 +9,7 @@ from repro.workloads import (
     MEDIA_NAMES,
     SPEC_NAMES,
     SPLASH_NAMES,
+    TENSOR_NAMES,
     WORKLOADS,
     Scale,
     Suite,
@@ -72,20 +73,23 @@ def test_multithreaded_at_various_counts(name):
         )
 
 
-@pytest.mark.parametrize("name", SPEC_NAMES + MEDIA_NAMES)
+@pytest.mark.parametrize("name", SPEC_NAMES + MEDIA_NAMES + TENSOR_NAMES)
 def test_single_threaded_reject_thread_arg(name):
     with pytest.raises(ValueError):
         get(name).instantiate(Scale.TINY, threads=2)
 
 
 def test_suites_partition_registry():
-    assert set(SPEC_NAMES) | set(MEDIA_NAMES) | set(SPLASH_NAMES) == \
-        set(ALL_NAMES)
+    assert set(SPEC_NAMES) | set(MEDIA_NAMES) | set(SPLASH_NAMES) | \
+        set(TENSOR_NAMES) == set(ALL_NAMES)
     assert len(SPEC_NAMES) == 6
     assert len(MEDIA_NAMES) == 3
     assert len(SPLASH_NAMES) == 6
+    assert len(TENSOR_NAMES) == 4
     for w in by_suite(Suite.SPLASH):
         assert w.multithreaded
+    for w in by_suite(Suite.TENSOR):
+        assert w.uses_fp and not w.multithreaded
 
 
 def test_unknown_workload_raises():
