@@ -1,0 +1,149 @@
+"""BENCH_surrogate: surrogate-guided active search on the default
+Figure 6 study.
+
+Runs the default design study (every third viable design) over the
+SpecINT+SpecFP suite twice -- once exhaustively, once with
+``surrogate=True`` -- and checks the three contractual properties of
+the surrogate driver:
+
+* **Frontier identity**: the surrogate sweep's Pareto frontier is
+  bit-identical to the exhaustive one (frontier points are always
+  measured, never predicted -- the exact-verify pass guarantees it).
+* **Effectiveness**: at least half of the study's cells are skipped
+  as ``predicted`` (>= 2x fewer simulations than exhaustive).
+* **Calibration**: the exact-vs-predicted error gate on the full
+  measured corpus -- held-out interval coverage >= 90%, with the MAE
+  recorded alongside.
+
+The machine-readable evidence is written to
+``benchmarks/results/BENCH_surrogate.json``.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.design import pareto_front, viable_designs
+from repro.harness.ledger import Ledger
+from repro.harness.sweep import design_space_sweep
+from repro.surrogate import calibration_report, extract_training_set
+
+from .conftest import RESULTS_DIR, bench_scale, full_sweep
+
+SPEC_SUITE = ("gzip", "mcf", "twolf", "ammp", "art", "equake")
+MAX_CYCLES = 2_000_000
+COVERAGE_TARGET = 0.90
+
+
+def design_subset():
+    designs = viable_designs()
+    return designs if full_sweep() else designs[::3]
+
+
+def run_study(designs, ledger_path, *, surrogate):
+    start = time.monotonic()
+    points, report = design_space_sweep(
+        designs,
+        SPEC_SUITE,
+        scale=bench_scale(),
+        ledger_path=ledger_path,
+        isolation="inline",
+        timeout_s=None,
+        max_cycles=MAX_CYCLES,
+        surrogate=surrogate,
+    )
+    wall_s = time.monotonic() - start
+    return points, report, wall_s
+
+
+@pytest.fixture(scope="module")
+def study(tmp_path_factory):
+    root = tmp_path_factory.mktemp("surrogate_study")
+    designs = design_subset()
+    exhaustive = run_study(designs, root / "exhaustive.jsonl",
+                           surrogate=False)
+    surrogate = run_study(designs, root / "surrogate.jsonl",
+                          surrogate=True)
+    return designs, root, exhaustive, surrogate
+
+
+def frontier(points):
+    return [(p.label, p.area, p.performance)
+            for p in pareto_front(points)]
+
+
+def test_bench_surrogate(study, record):
+    designs, root, exhaustive, surrogate = study
+    points_e, report_e, wall_e = exhaustive
+    points_s, report_s, wall_s = surrogate
+    n_cells = len(designs) * len(SPEC_SUITE)
+
+    # Frontier identity: active search never changes the frontier.
+    front_e, front_s = frontier(points_e), frontier(points_s)
+    assert front_e == front_s
+
+    # Effectiveness: >= 2x fewer simulated cells than exhaustive.
+    block = report_s.metrics["surrogate"]
+    simulated = block["simulated_cells"]
+    assert simulated + report_s.predicted \
+        + report_s.failed + report_s.poisoned \
+        + report_s.invalid == n_cells
+    assert simulated * 2 <= n_cells, (
+        f"simulated {simulated}/{n_cells} cells "
+        f"= {simulated / n_cells:.1%} > 50%"
+    )
+    reduction = n_cells / simulated
+
+    # Calibration: the error gate on the full measured corpus.
+    training = extract_training_set(Ledger(root / "exhaustive.jsonl"))
+    cal = calibration_report(training, coverage=COVERAGE_TARGET)
+    assert cal.calibrated, (
+        f"coverage {cal.coverage:.3f} < {COVERAGE_TARGET:.0%} "
+        f"(mae {cal.mae:.4f})"
+    )
+
+    payload = {
+        "scale": bench_scale().name.lower(),
+        "suite": list(SPEC_SUITE),
+        "n_designs": len(designs),
+        "n_cells": n_cells,
+        "simulated_cells": simulated,
+        "predicted_cells": report_s.predicted,
+        "reduction": round(reduction, 4),
+        "refits": block["refits"],
+        "model_hash": block["model_hash"],
+        "verified_designs": block["verified_designs"],
+        "calibration": {
+            "rows": cal.rows,
+            "mae": round(cal.mae, 6),
+            "coverage": round(cal.coverage, 4),
+            "mean_width": round(cal.mean_interval_width, 6),
+            "calibrated": cal.calibrated,
+        },
+        "wall_s_exhaustive": round(wall_e, 2),
+        "wall_s_surrogate": round(wall_s, 2),
+        "frontier": [
+            {"label": label, "area_mm2": round(area, 3),
+             "aipc": round(perf, 6)}
+            for label, area, perf in front_e
+        ],
+    }
+    (RESULTS_DIR / "BENCH_surrogate.json").write_text(
+        json.dumps(payload, indent=1) + "\n"
+    )
+
+    lines = [
+        f"designs {len(designs)}  suite {len(SPEC_SUITE)}  "
+        f"cells {n_cells}",
+        f"simulated {simulated}  predicted {report_s.predicted}  "
+        f"reduction {reduction:.2f}x  frontier identical: yes",
+        f"calibration: coverage {cal.coverage:.1%}  "
+        f"mae {cal.mae:.4f}  rows {cal.rows}",
+        f"wall exhaustive {wall_e:.1f}s  surrogate {wall_s:.1f}s",
+        "",
+        f"{'area':>7} {'AIPC':>8}  frontier configuration",
+    ]
+    for label, area, perf in front_e:
+        lines.append(f"{area:>7.1f} {perf:>8.4f}  {label}")
+    record("bench_surrogate", "\n".join(lines))

@@ -736,6 +736,10 @@ class WorkloadStatics:
     recurrence: int
     #: Statically proven to end in TrueDeadlock (AIPC bound is 0).
     proven_deadlock: bool
+    #: Maximum dataflow out-degree over instructions that fire: how
+    #: many operand sends one firing can fan out to.  A surrogate
+    #: feature (network-pressure proxy), not a bound ingredient.
+    fanout_pressure: int = 0
     #: The compiled graph (shared with the simulator's LRU cache) --
     #: needed to re-score the roofs against a concrete placement.
     graph: Optional[DataflowGraph] = None
@@ -834,6 +838,12 @@ def graph_statics(
             list(kept), lambda src, dst: latency[src]  # noqa: ARG005
         ),
         proven_deadlock=False,
+        fanout_pressure=max(
+            (sum(1 for _ in _send_targets(inst))
+             for inst in graph.instructions
+             if inst.inst_id in must_fire),
+            default=0,
+        ),
         graph=graph,
         must_fire=must_fire,
         fired_by_inst=tuple(sorted(fired.items())),

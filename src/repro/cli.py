@@ -333,8 +333,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         threaded=threaded, ledger_path=args.ledger, resume=args.resume,
         timeout_s=args.timeout_s, isolation=isolation, jobs=jobs,
         progress=progress, failure_budget=args.failure_budget,
-        prune=args.prune, backend=args.backend,
-        batch_width=args.batch_width,
+        prune=args.prune, surrogate=args.surrogate,
+        backend=args.backend, batch_width=args.batch_width,
     )
     if args.save:
         from .design import dump_points
@@ -627,6 +627,135 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return 1 if result.cases else 0
 
 
+def cmd_surrogate(args: argparse.Namespace) -> int:
+    """Surrogate model tooling over a sweep ledger.
+
+    ``report``: extract the training set (streaming selective-field
+    decode), fit on a deterministic holdout split, and print the
+    exact-vs-predicted calibration (MAE, empirical interval coverage).
+    Exits non-zero when coverage misses the target -- the CI gate that
+    keeps ``--surrogate`` sweeps honest.
+    """
+    import json
+
+    from .harness.ledger import Ledger
+    from .surrogate import calibration_report, extract_training_set
+
+    ledger = Ledger(args.ledger)
+    if not ledger.path.exists():
+        print(f"error: no ledger at {args.ledger}", file=sys.stderr)
+        return 2
+    training = extract_training_set(ledger)
+    try:
+        report = calibration_report(
+            training, holdout=args.holdout, seed=args.seed,
+            coverage=args.coverage,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(f"ledger: {args.ledger}")
+        print(report.render())
+    return 0 if report.calibrated else 1
+
+
+#: Substrings classifying benchmark metrics for baseline comparison.
+#: A metric whose key matches neither list is informational only.
+_LOWER_BETTER = ("wall", "overhead", "error", "mae", "loss", "width",
+                 "miss", "torn", "corrupt", "fallback", "retried",
+                 "failed", "poisoned")
+_HIGHER_BETTER = ("speedup", "per_s", "aipc", "rate", "coverage",
+                  "reduction", "throughput", "hits", "pruned",
+                  "predicted")
+
+
+def _bench_scalars(doc, prefix: str = "") -> dict[str, float]:
+    """Flatten numeric scalars (one nesting level deep, matching
+    :func:`_bench_lines`) into ``dotted.key -> value``."""
+    out: dict[str, float] = {}
+    if not isinstance(doc, dict):
+        return out
+    for key, value in doc.items():
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            out[f"{prefix}{key}"] = float(value)
+        elif isinstance(value, dict) and not prefix:
+            out.update(_bench_scalars(value, prefix=f"{key}."))
+    return out
+
+
+def _bench_direction(key: str) -> int:
+    """``-1`` when lower is better, ``+1`` when higher is, ``0`` when
+    the key name decides neither (then drift is reported, not
+    judged).  The *last* path component decides, so
+    ``surrogate.coverage`` reads as a coverage."""
+    leaf = key.rsplit(".", 1)[-1]
+    lower = any(mark in leaf for mark in _LOWER_BETTER)
+    higher = any(mark in leaf for mark in _HIGHER_BETTER)
+    if lower == higher:
+        return 0
+    return -1 if lower else 1
+
+
+def _compare_benchmarks(
+    current: dict[str, dict], baseline_dir, tolerance: float,
+) -> tuple[list[str], int]:
+    """Compare current benchmark documents against ``baseline_dir``.
+
+    Returns display lines and the regression count.  A *regression* is
+    a judged metric moving in its bad direction by more than
+    ``tolerance`` (relative); improvements and unjudged drift are
+    reported but never counted.
+    """
+    import json
+    from pathlib import Path
+
+    lines: list[str] = []
+    regressions = 0
+    baseline_dir = Path(baseline_dir)
+    for name in sorted(current):
+        base_path = baseline_dir / name
+        if not base_path.exists():
+            lines.append(f"{name}: no baseline (new benchmark)")
+            continue
+        try:
+            base_doc = json.loads(base_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            lines.append(f"{name}: unreadable baseline ({exc})")
+            continue
+        now = _bench_scalars(current[name])
+        base = _bench_scalars(base_doc)
+        for key in sorted(set(now) & set(base)):
+            old, new = base[key], now[key]
+            if old == new:
+                continue
+            scale = max(abs(old), abs(new), 1e-12)
+            drift = (new - old) / scale
+            if abs(drift) <= tolerance:
+                continue
+            direction = _bench_direction(key)
+            if direction == 0:
+                lines.append(
+                    f"{name}: {key} drifted {old:.4g} -> {new:.4g}"
+                )
+            elif drift * direction < 0:
+                regressions += 1
+                lines.append(
+                    f"{name}: REGRESSION {key} {old:.4g} -> {new:.4g} "
+                    f"({drift:+.1%}, tolerance {tolerance:.0%})"
+                )
+            else:
+                lines.append(
+                    f"{name}: improved {key} {old:.4g} -> {new:.4g} "
+                    f"({drift:+.1%})"
+                )
+    return lines, regressions
+
+
 def _bench_lines(doc: dict) -> list[str]:
     """Flatten one benchmark document into display lines: top-level
     scalars as ``key = value``, nested dicts as one ``key: k=v, ...``
@@ -674,6 +803,7 @@ def cmd_bench_summary(args: argparse.Namespace) -> int:
         print(f"no BENCH_*.json found under {root}", file=sys.stderr)
         return 2
     bad = 0
+    docs: dict[str, dict] = {}
     for path in paths:
         try:
             text = path.read_text(encoding="utf-8")
@@ -693,6 +823,7 @@ def cmd_bench_summary(args: argparse.Namespace) -> int:
             continue
         print(f"{path}:")
         if isinstance(doc, dict):
+            docs[path.name] = doc
             for line in _bench_lines(doc):
                 print(f"  {line}")
         elif isinstance(doc, list):
@@ -700,11 +831,31 @@ def cmd_bench_summary(args: argparse.Namespace) -> int:
         else:
             print(f"  [non-object document: {type(doc).__name__}]")
             bad += 1
+    regressions = 0
+    if args.baseline:
+        from pathlib import Path as _Path
+
+        if not _Path(args.baseline).is_dir():
+            print(f"error: baseline dir {args.baseline} not found",
+                  file=sys.stderr)
+            return 2
+        lines, regressions = _compare_benchmarks(
+            docs, args.baseline, args.tolerance
+        )
+        print(f"\nbaseline comparison ({args.baseline}, tolerance "
+              f"{args.tolerance:.0%}):")
+        for line in lines:
+            print(f"  {line}")
+        if not lines:
+            print("  no drift beyond tolerance")
+        if regressions:
+            print(f"{regressions} regression(s) vs baseline",
+                  file=sys.stderr)
     if bad:
         print(f"warning: {bad} bad benchmark file(s) skipped",
               file=sys.stderr)
-        if args.strict:
-            return 1
+    if args.strict and (bad or regressions):
+        return 1
     return 0
 
 
@@ -793,6 +944,15 @@ def build_parser() -> argparse.ArgumentParser:
                               "measured cheaper design (pruned_static "
                               "ledger records; the Pareto frontier is "
                               "bit-identical to an unpruned sweep; "
+                              "forces serial execution)")
+    p_sweep.add_argument("--surrogate", action="store_true",
+                         help="active-learning sweep: a conformal "
+                              "surrogate trained on the measurements "
+                              "so far skips designs that provably "
+                              "cannot reach the Pareto frontier "
+                              "(predicted ledger records with "
+                              "interval + model hash; the frontier "
+                              "itself is always measured exactly; "
                               "forces serial execution)")
     p_sweep.add_argument("--backend", default=DEFAULT_BACKEND,
                          choices=BACKENDS,
@@ -1014,10 +1174,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench.add_argument("--root", default=".",
                          help="directory to scan (default: cwd)")
+    p_bench.add_argument("--baseline", default=None, metavar="DIR",
+                         help="compare each BENCH_*.json against the "
+                              "same-named file in this directory; "
+                              "judged metrics moving the wrong way "
+                              "beyond --tolerance are flagged as "
+                              "regressions")
+    p_bench.add_argument("--tolerance", type=float, default=0.10,
+                         metavar="FRAC",
+                         help="relative drift allowed before a "
+                              "baseline metric is flagged "
+                              "(default 0.10)")
     p_bench.add_argument("--strict", action="store_true",
-                         help="exit non-zero if any benchmark file is "
-                              "missing, empty, or malformed (default: "
+                         help="exit non-zero on any bad benchmark "
+                              "file or baseline regression (default: "
                               "report and continue)")
+
+    p_surr = sub.add_parser(
+        "surrogate",
+        help="surrogate model tooling: exact-vs-predicted calibration "
+             "over a sweep ledger",
+    )
+    p_surr.add_argument("action", choices=("report",))
+    p_surr.add_argument("ledger", metavar="LEDGER",
+                        help="JSONL ledger written by sweep --ledger")
+    p_surr.add_argument("--holdout", type=float, default=0.25,
+                        help="held-out fraction for calibration "
+                             "(default 0.25)")
+    p_surr.add_argument("--coverage", type=float, default=0.9,
+                        help="target interval coverage (default 0.9)")
+    p_surr.add_argument("--seed", type=int, default=0,
+                        help="seed for the deterministic split/fit")
+    p_surr.add_argument("--json", action="store_true",
+                        help="emit the calibration report as JSON")
 
     return parser
 
@@ -1039,6 +1228,7 @@ COMMANDS = {
     "ledger": cmd_ledger,
     "fuzz": cmd_fuzz,
     "bench-summary": cmd_bench_summary,
+    "surrogate": cmd_surrogate,
 }
 
 

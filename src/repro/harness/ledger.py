@@ -62,6 +62,17 @@ def _canonical(record: dict) -> bytes:
     ).encode("utf-8")
 
 
+def _pluck(record: dict, name: str):
+    """Resolve a (possibly dotted) field path against one record;
+    ``None`` when any step is missing or not a dict."""
+    value = record
+    for part in name.split("."):
+        if not isinstance(value, dict):
+            return None
+        value = value.get(part)
+    return value
+
+
 def record_checksum(record: dict) -> int:
     """CRC32 over the record's canonical JSON (non-ASCII workload
     names and NaN/Inf values included -- whatever ``json`` emits is
@@ -359,6 +370,67 @@ class Ledger:
         return len(self._hashes)
 
     # ------------------------------------------------------------------
+    def iter_fields(self, *names: str):
+        """Stream selected fields of every winning record as tuples.
+
+        The training-set extractor (:mod:`repro.surrogate`) walks
+        campaign ledgers that can hold orders of magnitude more lines
+        than :meth:`load` was designed for; materializing every full
+        record dict just to read three fields of each is the cost this
+        method avoids.  Lines are decoded one at a time and only the
+        *requested* fields are retained, so peak memory is
+        ``O(records x len(names))`` regardless of record size.
+
+        Field ``names`` may be dotted paths (``"spec.config.clusters"``
+        descends into nested dicts); a missing field yields ``None``.
+        Supersession and integrity rules match :meth:`load` exactly:
+        the highest ``seq`` per cell hash wins (file order for
+        unsealed v1 records), torn lines, checksum failures, and
+        hashless records are skipped and counted on
+        :attr:`torn_lines` / :attr:`corrupt_lines`.  Tuples come out
+        in first-seen hash order -- deterministic for a given file.
+        """
+        torn = 0
+        corrupt = 0
+        # hash -> [first-seen index, (seq, line_no) key, values tuple]
+        winners: dict[str, list] = {}
+        if self.path.exists():
+            with self.path.open("r", encoding="utf-8") as fh:
+                for line_no, line in enumerate(fh, 1):
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except json.JSONDecodeError:
+                        torn += 1
+                        continue
+                    if not isinstance(record, dict):
+                        torn += 1
+                        continue
+                    if not checksum_ok(record):
+                        corrupt += 1
+                        continue
+                    cell = record.get("hash")
+                    if not cell:
+                        continue
+                    seq = record.get("seq")
+                    key = (seq if seq is not None else -1, line_no)
+                    values = tuple(
+                        _pluck(record, name) for name in names
+                    )
+                    entry = winners.get(cell)
+                    if entry is None:
+                        winners[cell] = [len(winners), key, values]
+                    elif key >= entry[1]:
+                        entry[1] = key
+                        entry[2] = values
+        self.torn_lines = torn
+        self.corrupt_lines = corrupt
+        for entry in sorted(winners.values(), key=lambda e: e[0]):
+            yield entry[2]
+
+    # ------------------------------------------------------------------
     # Integrity: verify / repair / compact
     # ------------------------------------------------------------------
     def verify(self) -> LedgerAudit:
@@ -643,6 +715,54 @@ class Ledger:
                 name: round(value, 6)
                 for name, value in sorted(bound.components.items())
             },
+        }
+
+
+    @staticmethod
+    def record_predicted(spec: CellSpec, bound, prediction) -> dict:
+        """Serialise a surrogate-skipped cell: the active-learning
+        sweep proved (via the sound static bound) that this cell
+        cannot move the Pareto frontier, so no subprocess ever ran
+        (``attempts == 0``), and the surrogate model's prediction is
+        recorded in place of a measurement.
+
+        ``bound`` is the cell's
+        :class:`~repro.analysis.dataflow.BoundReport`; the upper
+        interval of ``prediction`` (a
+        :class:`~repro.surrogate.CellPrediction`) is already clipped
+        to its sound ``aipc_bound``.  Aggregation substitutes that
+        *frozen* upper interval -- the exact optimistic value the skip
+        decision compared against the measured incumbent -- so the
+        skip replays identically on resume and a retrained model can
+        never lift a skipped design onto the frontier (DESIGN.md
+        section 5k).  The point estimate, interval, and model hash
+        travel with the record so reports can separate predicted from
+        measured cells and the calibration gate can audit the model
+        that made each call.  A resumed campaign *without*
+        ``--surrogate`` re-runs these cells (the superseding
+        measurement wins by ``seq``).
+        """
+        return {
+            "version": LEDGER_VERSION,
+            "hash": spec.cell_hash(),
+            "status": "predicted",
+            "workload": spec.workload,
+            "config": spec.config.describe(),
+            "threads": spec.threads,
+            "attempts": 0,
+            "retries": 0,
+            "wall_s": 0.0,
+            # selflint: allow(D001) human-facing only, never compared
+            "ts": time.time(),
+            "spec": spec.as_dict(),
+            "aipc_bound": round(bound.aipc_bound, 6),
+            "cycles_lower_bound": bound.cycles_lower_bound,
+            "binding_roof": bound.binding_roof,
+            "aipc_predicted": round(prediction.aipc, 6),
+            "aipc_interval": [
+                round(prediction.lo, 6), round(prediction.hi, 6)
+            ],
+            "model_hash": prediction.model_hash,
         }
 
 

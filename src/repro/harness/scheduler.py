@@ -223,6 +223,42 @@ class Lane:
         return self.stopped or self.cursor >= len(self.specs)
 
 
+def _merge_scheduler_metrics(report, block: dict) -> None:
+    """Fold one execution's scheduler block into ``report.metrics``.
+
+    The pruned and surrogate sweep drivers call :func:`execute_lanes`
+    once per lane; naively assigning the block would leave only the
+    *last* lane's counters in the report.  Counters accumulate,
+    high-water marks take the max, and utilization is recomputed from
+    the merged busy/wall totals.  Wall-clock derived throughout, so
+    (like the individual blocks) outside the determinism contract.
+    """
+    if not hasattr(report, "metrics"):
+        return
+    previous = report.metrics.get("scheduler")
+    if not previous:
+        report.metrics["scheduler"] = block
+        return
+    merged = dict(previous)
+    for key in ("workers_spawned", "workers_reaped", "dispatched",
+                "worker_respawns", "worker_crash_retries",
+                "breaker_trips", "batch_groups", "batched_cells"):
+        merged[key] = previous.get(key, 0) + block.get(key, 0)
+    for key in ("busy_s", "wall_s", "backoff_s"):
+        merged[key] = round(
+            previous.get(key, 0.0) + block.get(key, 0.0), 3
+        )
+    for key in ("workers", "max_ready_lanes", "max_inflight"):
+        merged[key] = max(previous.get(key, 0), block.get(key, 0))
+    if block.get("mode") != previous.get("mode"):
+        merged["mode"] = "mixed"
+    capacity = merged["workers"] * merged["wall_s"]
+    merged["utilization"] = (
+        round(merged["busy_s"] / capacity, 4) if capacity > 0 else 0.0
+    )
+    report.metrics["scheduler"] = merged
+
+
 # ----------------------------------------------------------------------
 # Worker side
 # ----------------------------------------------------------------------
@@ -668,8 +704,7 @@ class _ParallelDriver:
                     self._reap()
         finally:
             self._shutdown()
-            if hasattr(self.report, "metrics"):
-                self.report.metrics["scheduler"] = self._metrics()
+            _merge_scheduler_metrics(self.report, self._metrics())
 
 
 # ----------------------------------------------------------------------
@@ -745,27 +780,26 @@ def _execute_serial(lanes, supervisor, ledger, done, report, progress,
             if progress is not None:
                 progress(spec, record)
             lane.advance(record)
-    if hasattr(report, "metrics"):
-        elapsed = time.monotonic() - started
-        report.metrics["scheduler"] = {
-            "mode": "serial",
-            "workers": 1,
-            "workers_spawned": 0,
-            "workers_reaped": 0,
-            "dispatched": dispatched,
-            "busy_s": round(busy_s, 3),
-            "wall_s": round(elapsed, 3),
-            "utilization": round(busy_s / elapsed, 4)
-            if elapsed > 0 else 0.0,
-            "max_ready_lanes": len(lanes),
-            "max_inflight": 1 if dispatched else 0,
-            "worker_respawns": 0,
-            "worker_crash_retries": breaker.crash_retries,
-            "breaker_trips": breaker.trips,
-            "backoff_s": round(backoff.total_s, 3),
-            "batch_groups": 0,
-            "batched_cells": 0,
-        }
+    elapsed = time.monotonic() - started
+    _merge_scheduler_metrics(report, {
+        "mode": "serial",
+        "workers": 1,
+        "workers_spawned": 0,
+        "workers_reaped": 0,
+        "dispatched": dispatched,
+        "busy_s": round(busy_s, 3),
+        "wall_s": round(elapsed, 3),
+        "utilization": round(busy_s / elapsed, 4)
+        if elapsed > 0 else 0.0,
+        "max_ready_lanes": len(lanes),
+        "max_inflight": 1 if dispatched else 0,
+        "worker_respawns": 0,
+        "worker_crash_retries": breaker.crash_retries,
+        "breaker_trips": breaker.trips,
+        "backoff_s": round(backoff.total_s, 3),
+        "batch_groups": 0,
+        "batched_cells": 0,
+    })
 
 
 def _crash_retry(supervisor, spec, result, breaker, backoff):
@@ -912,27 +946,26 @@ def _execute_serial_batched(lanes, supervisor, ledger, done, report,
         )
         if aborted:
             break
-    if hasattr(report, "metrics"):
-        elapsed = time.monotonic() - started
-        report.metrics["scheduler"] = {
-            "mode": "serial",
-            "workers": 1,
-            "workers_spawned": 0,
-            "workers_reaped": 0,
-            "dispatched": dispatched,
-            "busy_s": round(busy_s, 3),
-            "wall_s": round(elapsed, 3),
-            "utilization": round(busy_s / elapsed, 4)
-            if elapsed > 0 else 0.0,
-            "max_ready_lanes": len(lanes),
-            "max_inflight": 1 if dispatched else 0,
-            "worker_respawns": 0,
-            "worker_crash_retries": breaker.crash_retries,
-            "breaker_trips": breaker.trips,
-            "backoff_s": round(backoff.total_s, 3),
-            "batch_groups": batch_groups,
-            "batched_cells": batched_cells,
-        }
+    elapsed = time.monotonic() - started
+    _merge_scheduler_metrics(report, {
+        "mode": "serial",
+        "workers": 1,
+        "workers_spawned": 0,
+        "workers_reaped": 0,
+        "dispatched": dispatched,
+        "busy_s": round(busy_s, 3),
+        "wall_s": round(elapsed, 3),
+        "utilization": round(busy_s / elapsed, 4)
+        if elapsed > 0 else 0.0,
+        "max_ready_lanes": len(lanes),
+        "max_inflight": 1 if dispatched else 0,
+        "worker_respawns": 0,
+        "worker_crash_retries": breaker.crash_retries,
+        "breaker_trips": breaker.trips,
+        "backoff_s": round(backoff.total_s, 3),
+        "batch_groups": batch_groups,
+        "batched_cells": batched_cells,
+    })
 
 
 def execute_lanes(

@@ -74,6 +74,7 @@ class SweepReport:
     invalid: int = 0  # cells statically rejected, never simulated
     poisoned: int = 0  # cells quarantined by the circuit breaker
     pruned_static: int = 0  # cells skipped by the static-bound pruner
+    predicted: int = 0  # cells skipped on a surrogate prediction
     retried: int = 0  # total retry attempts across cells
     skipped: int = 0  # cells resumed from the ledger, not re-simulated
     torn_lines: int = 0  # truncated ledger lines seen while resuming
@@ -92,7 +93,8 @@ class SweepReport:
     @property
     def total(self) -> int:
         return (self.completed + self.failed + self.invalid
-                + self.poisoned + self.pruned_static + self.skipped)
+                + self.poisoned + self.pruned_static + self.predicted
+                + self.skipped)
 
     def summary(self) -> str:
         poisoned = (
@@ -100,6 +102,8 @@ class SweepReport:
         )
         if self.pruned_static:
             poisoned += f" / {self.pruned_static} pruned"
+        if self.predicted:
+            poisoned += f" / {self.predicted} predicted"
         lines = (
             f" [{self.torn_lines} torn ledger line(s) skipped]"
             if self.torn_lines else ""
@@ -151,6 +155,14 @@ class SweepReport:
                 f"compile cache: {cache['hits']} hit(s) / "
                 f"{cache['misses']} miss(es) / "
                 f"{cache['evictions']} eviction(s)"
+            )
+        surrogate = self.metrics.get("surrogate")
+        if surrogate:
+            lines.append(
+                f"surrogate: {surrogate['simulated_cells']} simulated "
+                f"/ {surrogate['predicted_cells']} predicted, "
+                f"{surrogate['refits']} refit(s), "
+                f"model {surrogate['model_hash']}"
             )
         return "\n".join(lines)
 
@@ -241,6 +253,15 @@ def sweep_cells(
         supervisor = RunSupervisor(**kwargs)
     ledger = Ledger(ledger_path) if ledger_path else None
     done = ledger.load() if (ledger is not None and resume) else {}
+    if done:
+        # A predicted record is a surrogate annotation, not a
+        # measurement; this entry point has no surrogate mode, so
+        # resumed predicted cells are re-simulated (the measurement
+        # then supersedes the prediction by seq).
+        done = {
+            cell: record for cell, record in done.items()
+            if record.get("status") != "predicted"
+        }
     report = SweepReport()
     if ledger is not None:
         report.torn_lines = ledger.torn_lines
@@ -315,6 +336,24 @@ def build_lanes(
     return lanes
 
 
+def _optimistic_score(record: dict) -> float:
+    """The score a skipped cell contributes to its design's mixed
+    aggregate: the static AIPC bound for ``pruned_static`` records,
+    the *skip-time* conformal upper interval for ``predicted`` ones.
+
+    Predicted cells deliberately replay the interval frozen into the
+    record when the skip was decided, never a retrained model's view:
+    the skip test proved the design dominated at exactly that value,
+    so re-deriving it from a later (possibly wider) model could lift a
+    dominated design onto the frontier.
+    """
+    if record["status"] == "predicted":
+        interval = record.get("aipc_interval")
+        if interval:
+            return float(interval[1])
+    return float(record.get("aipc_bound", 0.0))
+
+
 def _aggregate(
     designs: Sequence[DesignPoint],
     names: Sequence[str],
@@ -343,14 +382,16 @@ def _aggregate(
                 if record["status"] == "ok":
                     aipc = record.get("aipc", 0.0)
                     best = aipc if best is None else max(best, aipc)
-                elif record["status"] == "pruned_static":
-                    # A pruned cell contributes its static upper bound:
-                    # the mixed aggregate is then an upper bound on the
-                    # true one, and the pruner only skips cells whose
+                elif record["status"] in ("pruned_static", "predicted"):
+                    # A skipped cell contributes its optimistic score
+                    # (static bound, or the frozen surrogate upper
+                    # interval -- see _optimistic_score): the mixed
+                    # aggregate is then an upper bound on the true
+                    # one, and both skip tests fire only when the
                     # design is dominated even at that optimistic
                     # score, so the Pareto frontier is unchanged.
-                    bound = record.get("aipc_bound", 0.0)
-                    best = bound if best is None else max(best, bound)
+                    score = _optimistic_score(record)
+                    best = score if best is None else max(best, score)
                 else:
                     report.failures.append(CellFailure(
                         config=config.describe(), workload=name,
@@ -380,9 +421,9 @@ def _lane_score(
     ``complete`` means the lane needs no further simulation: every
     cell has a record, or an early cell failed (the lane protocol
     stops probing after a failure, so the score stands).  ``pruned``
-    flags lanes carrying a ``pruned_static`` record -- their score is
-    an upper bound, not a measurement, so the design is disqualified
-    as a pruning comparator.
+    flags lanes carrying a ``pruned_static`` or ``predicted`` record
+    -- their score is an upper bound, not a measurement, so the design
+    is disqualified as a skip-test comparator.
     """
     best: Optional[float] = None
     pruned = False
@@ -393,10 +434,10 @@ def _lane_score(
         if record["status"] == "ok":
             aipc = record.get("aipc", 0.0)
             best = aipc if best is None else max(best, aipc)
-        elif record["status"] == "pruned_static":
+        elif record["status"] in ("pruned_static", "predicted"):
             pruned = True
-            bound = record.get("aipc_bound", 0.0)
-            best = bound if best is None else max(best, bound)
+            score = _optimistic_score(record)
+            best = score if best is None else max(best, score)
         else:
             return (best or 0.0), True, pruned
     return (best or 0.0), True, pruned
@@ -530,6 +571,333 @@ def _execute_pruned(
     return done
 
 
+def _execute_surrogate(
+    designs: Sequence[DesignPoint],
+    names: Sequence[str],
+    lanes: Sequence[Lane],
+    *,
+    supervisor: RunSupervisor,
+    ledger: Optional[Ledger],
+    done: dict[str, dict],
+    report: SweepReport,
+    progress: Callable[[CellSpec, dict], None],
+    prevalidate: bool,
+    chaos,
+    failure_budget: Optional[float],
+    prior_skips: bool = False,
+) -> dict[str, dict]:
+    """Active-learning sweep: a conformal surrogate orders the
+    measurements and skips designs that cannot reach the frontier.
+
+    Each round runs three steps (DESIGN.md section 5k):
+
+    1. **Skip scan** -- a design is skipped when its *optimistic
+       mixed aggregate* (measured lanes at their score, unmeasured
+       cells at the surrogate's conformal upper interval, clipped to
+       the sound static bound) is dominated by a fully-measured design
+       of no larger area.  Skipped cells get ``predicted`` ledger
+       records carrying the interval *frozen at skip time*; resume and
+       aggregation replay exactly that value.  Designs whose
+       unmeasured intervals are wider than
+       :data:`~repro.surrogate.UNCERTAINTY_THRESHOLD` are never
+       skipped -- a model that cannot commit must measure.
+    2. **Acquisition** -- among unresolved designs, pick the one with
+       the highest expected frontier improvement (mean-mixed aggregate
+       minus the measured incumbent at <= its area; ties to the
+       smaller area), then its widest-interval lane; measure that one
+       lane.  Before ``min_train`` measured rows exist the model is an
+       uninformative prior and designs are simply measured in
+       ascending area order to establish the incumbent.
+    3. **Retrain** on every measured record (``ok`` at its AIPC,
+       ``failed``/``poisoned`` at the zero the aggregation assigns).
+
+    When every design is resolved, an **exact-verify** pass recomputes
+    the frontier: any frontier design still carrying ``predicted``
+    records has them revoked and is re-measured (the model mis-ranked
+    it; soundness requires every frontier point be a measurement).
+    In calibrated operation this pass finds nothing -- a skip happens
+    only when the frozen upper interval is already dominated -- but it
+    is what *guarantees* the returned frontier is bit-identical to the
+    exhaustive sweep's, independent of model quality.
+
+    ``prior_skips=True`` (the ``prune`` + ``surrogate`` composition)
+    additionally allows skips while the model is still the prior; the
+    prior's interval is ``[0, bound]``, so those skips are exactly the
+    static-bound prune test.
+
+    Execution is serial (``jobs`` is ignored): every decision depends
+    on the measurements before it, and determinism across ``--jobs``
+    values is part of the sweep contract.
+    """
+    from ..analysis.dataflow import bound_for_cell
+    from ..design.pareto import pareto_front
+    from ..surrogate.features import training_rows
+    from ..surrogate.search import UNCERTAINTY_THRESHOLD, SurrogateModel
+
+    n_names = len(names)
+    n_designs = len(designs)
+    lane_bounds: dict[tuple, float] = {}
+    cell_bounds: dict[str, object] = {}
+    for lane in lanes:
+        best = 0.0
+        for spec in lane.specs:
+            bound = bound_for_cell(spec)
+            cell_bounds[spec.cell_hash()] = bound
+            best = max(best, bound.aipc_bound)
+        lane_bounds[lane.key] = best
+
+    # Resume accounting: lanes already complete never reach
+    # execute_lanes, so count their resumed records here (partially
+    # complete lanes are counted by execute_lanes when they run).
+    for lane in lanes:
+        _, complete, _ = _lane_score(lane, done)
+        if complete:
+            report.skipped += sum(
+                1 for spec in lane.specs if spec.cell_hash() in done
+            )
+
+    # Fixed seed: the surrogate's decisions are part of the sweep's
+    # determinism contract (identical ledger for any --jobs value),
+    # so its randomness cannot depend on the environment.
+    model = SurrogateModel(seed=0)
+    predictions: dict[str, object] = {}  # cell hash -> CellPrediction
+
+    def _predict(spec: CellSpec):
+        cell = spec.cell_hash()
+        prediction = predictions.get(cell)
+        if prediction is None:
+            prediction = model.predict_cell(spec, cell_bounds[cell])
+            predictions[cell] = prediction
+        return prediction
+
+    def _retrain() -> None:
+        pairs = [
+            (spec, done[spec.cell_hash()])
+            for lane in lanes for spec in lane.specs
+            if spec.cell_hash() in done
+        ]
+        X, y, groups = training_rows(pairs, bounds=cell_bounds)
+        if model.fit(X, y, groups=groups):
+            predictions.clear()
+
+    def _dlanes(index: int) -> Sequence[Lane]:
+        return lanes[index * n_names:(index + 1) * n_names]
+
+    def _resolved(index: int) -> bool:
+        return all(
+            _lane_score(lane, done)[1] for lane in _dlanes(index)
+        )
+
+    def _clean_aggregate(index: int) -> Optional[float]:
+        """The design's fully-measured suite aggregate, or ``None``
+        when any lane is incomplete or scored by a bound/prediction
+        (such a design cannot serve as a skip-test comparator)."""
+        total = 0.0
+        for lane in _dlanes(index):
+            score, complete, pruned = _lane_score(lane, done)
+            if not complete or pruned:
+                return None
+            total += score or 0.0
+        return total / n_names
+
+    def _mixed(index: int, optimistic: bool) -> float:
+        """Suite aggregate with unmeasured cells filled in by the
+        surrogate: the conformal upper interval (``optimistic``, the
+        skip test) or the point estimate (the acquisition rank)."""
+        total = 0.0
+        for lane in _dlanes(index):
+            score, complete, _ = _lane_score(lane, done)
+            if complete:
+                total += score or 0.0
+                continue
+            fill = 0.0
+            for spec in lane.specs:
+                if spec.cell_hash() in done:
+                    continue
+                prediction = _predict(spec)
+                fill = max(fill, prediction.hi if optimistic
+                           else prediction.aipc)
+            total += max(score or 0.0, fill)
+        return total / n_names
+
+    def _max_width(index: int) -> float:
+        width = 0.0
+        for lane in _dlanes(index):
+            _, complete, _ = _lane_score(lane, done)
+            if complete:
+                continue
+            for spec in lane.specs:
+                if spec.cell_hash() not in done:
+                    width = max(width, _predict(spec).width)
+        return width
+
+    def _dominated(index: int, aggregate: float) -> bool:
+        """Whether a fully-measured design of no larger area already
+        beats ``aggregate``.  The equal-aggregate arm mirrors the
+        stable sort inside :func:`pareto_front`: at identical area and
+        performance the earlier (area-sorted, so cheaper-or-equal)
+        design takes the frontier slot, so an exact tie against an
+        earlier design still means dominated."""
+        area = designs[index].area_mm2
+        for other in range(n_designs):
+            if other == index:
+                continue
+            if designs[other].area_mm2 > area + 1e-12:
+                continue
+            clean = _clean_aggregate(other)
+            if clean is None:
+                continue
+            if clean > aggregate or (clean == aggregate
+                                     and other < index):
+                return True
+        return False
+
+    def _freeze(index: int) -> None:
+        for lane in _dlanes(index):
+            _, complete, _ = _lane_score(lane, done)
+            if complete:
+                continue
+            for spec in lane.specs:
+                cell = spec.cell_hash()
+                if cell in done:
+                    continue
+                record = Ledger.record_predicted(
+                    spec, cell_bounds[cell], _predict(spec)
+                )
+                if ledger is not None:
+                    ledger.append(record)
+                done[cell] = record
+                report.predicted += 1
+                progress(spec, record)
+
+    def _incumbent(index: int) -> float:
+        area = designs[index].area_mm2
+        best = 0.0
+        for other in range(n_designs):
+            if designs[other].area_mm2 > area + 1e-12:
+                continue
+            clean = _clean_aggregate(other)
+            if clean is not None:
+                best = max(best, clean)
+        return best
+
+    def _predicted_on_frontier() -> list[int]:
+        """Indices of frontier designs still carrying ``predicted``
+        records -- the exact-verify offenders."""
+        points = []
+        carries: dict[str, int] = {}
+        for index, design in enumerate(designs):
+            scores = [
+                _lane_score(lane, done) for lane in _dlanes(index)
+            ]
+            label = design.config.describe()
+            points.append(ParetoPoint(
+                label=label, area=design.area_mm2,
+                performance=sum(s or 0.0 for s, _, _ in scores)
+                / n_names,
+            ))
+            if any(
+                done.get(spec.cell_hash(), {}).get("status")
+                == "predicted"
+                for lane in _dlanes(index) for spec in lane.specs
+            ):
+                carries[label] = index
+        return sorted(
+            carries[point.label]
+            for point in pareto_front(points)
+            if point.label in carries
+        )
+
+    must_measure: set[int] = set()
+    simulated_at_start = (report.completed + report.failed
+                          + report.poisoned)
+    _retrain()  # resumed measurements train the model immediately
+    while not report.aborted:
+        if model.fitted or prior_skips:
+            for index in range(n_designs):
+                if index in must_measure or _resolved(index):
+                    continue
+                # The width gate only applies to the fitted model;
+                # the prior's [0, bound] interval is sound by
+                # construction, so width cannot disqualify it.
+                if model.fitted and \
+                        _max_width(index) > UNCERTAINTY_THRESHOLD:
+                    continue
+                if _dominated(index, _mixed(index, optimistic=True)):
+                    _freeze(index)
+        remaining = [
+            index for index in range(n_designs)
+            if not _resolved(index)
+        ]
+        if not remaining:
+            offenders = _predicted_on_frontier()
+            if not offenders:
+                break
+            for index in offenders:
+                must_measure.add(index)
+                for lane in _dlanes(index):
+                    for spec in lane.specs:
+                        cell = spec.cell_hash()
+                        record = done.get(cell)
+                        if (record is not None and record.get("status")
+                                == "predicted"):
+                            del done[cell]
+                            report.predicted -= 1
+            continue
+        if not model.fitted:
+            pick = remaining[0]  # ascending area: build the incumbent
+        else:
+            pick = max(
+                remaining,
+                key=lambda index: (
+                    _mixed(index, optimistic=False)
+                    - _incumbent(index),
+                    -index,
+                ),
+            )
+        open_lanes = [
+            lane for lane in _dlanes(pick)
+            if not _lane_score(lane, done)[1]
+        ]
+
+        def _lane_width(lane: Lane) -> float:
+            return max(
+                (_predict(spec).width for spec in lane.specs
+                 if spec.cell_hash() not in done),
+                default=0.0,
+            )
+
+        # Widest interval first (the measurement the model learns the
+        # most from), then highest bound, then lane key -- all
+        # deterministic.
+        lane = min(
+            open_lanes,
+            key=lambda ln: (-_lane_width(ln), -lane_bounds[ln.key],
+                            ln.key),
+        )
+        execute_lanes(
+            [lane], jobs=1, supervisor=supervisor, ledger=ledger,
+            done=done, report=report, progress=progress,
+            prevalidate=prevalidate, chaos=chaos,
+            failure_budget=failure_budget,
+        )
+        _retrain()
+    report.metrics["surrogate"] = {
+        "model_hash": model.model_hash,
+        "refits": model.refits,
+        "train_rows": model.train_rows,
+        "predicted_cells": report.predicted,
+        "simulated_cells": (report.completed + report.failed
+                            + report.poisoned) - simulated_at_start,
+        "verified_designs": sorted(
+            designs[index].config.describe()
+            for index in must_measure
+        ),
+        "prior_skips": bool(prior_skips),
+    }
+    return done
+
+
 def design_space_sweep(
     designs: Sequence[DesignPoint],
     names: Sequence[str],
@@ -552,6 +920,7 @@ def design_space_sweep(
     chaos=None,
     failure_budget: Optional[float] = None,
     prune: bool = False,
+    surrogate: bool = False,
     backend: Optional[str] = None,
     batch_width: Optional[int] = None,
 ) -> tuple[list[ParetoPoint], SweepReport]:
@@ -571,6 +940,20 @@ def design_space_sweep(
     points may report the optimistic mixed aggregate instead of the
     measured one.  Prune mode executes serially (``jobs`` is ignored)
     because each decision depends on the cells measured before it.
+
+    ``surrogate=True`` turns on the active-learning sweep
+    (:func:`_execute_surrogate`): a conformal quantile-forest trained
+    on the measurements so far orders the remaining cells and skips
+    designs whose bound-clipped upper interval cannot reach the
+    frontier, recording them as ``predicted`` (point estimate,
+    interval, and model hash attached).  An exact-verify pass
+    re-measures any frontier design the model skipped, so the
+    returned frontier is bit-identical to the exhaustive sweep's.
+    Like prune mode it executes serially; combined with
+    ``prune=True`` the surrogate additionally skips on the
+    uninformative prior, which degenerates to the static-bound prune
+    test.  Resuming *without* ``surrogate`` drops predicted records
+    and re-simulates those cells.
 
     ``backend`` selects the engine for every cell (see
     :mod:`repro.sim.backends`); ``backend="batched"`` additionally
@@ -593,6 +976,14 @@ def design_space_sweep(
         )
     ledger = Ledger(ledger_path) if ledger_path else None
     done = ledger.load() if (ledger is not None and resume) else {}
+    if done and not surrogate:
+        # Predicted records are surrogate annotations, not
+        # measurements: resuming without --surrogate re-simulates
+        # them (the measurement then supersedes by seq).
+        done = {
+            cell: record for cell, record in done.items()
+            if record.get("status") != "predicted"
+        }
     report = SweepReport()
     if ledger is not None:
         report.torn_lines = ledger.torn_lines
@@ -603,7 +994,14 @@ def design_space_sweep(
         max_events,
     )
     meter, noted = _metered(lanes, progress)
-    if prune:
+    if surrogate:
+        records = _execute_surrogate(
+            designs, names, lanes, supervisor=supervisor,
+            ledger=ledger, done=done, report=report, progress=noted,
+            prevalidate=prevalidate, chaos=chaos,
+            failure_budget=failure_budget, prior_skips=prune,
+        )
+    elif prune:
         records = _execute_pruned(
             designs, names, lanes, supervisor=supervisor,
             ledger=ledger, done=done, report=report, progress=noted,

@@ -285,3 +285,176 @@ def test_report_with_ledger_section(capsys, tmp_path):
     assert "Campaign observability" in text
     assert "cells_total" in text
     assert "cell_wall_s" in text
+
+
+# ----------------------------------------------------------------------
+# surrogate report
+# ----------------------------------------------------------------------
+def _write_training_ledger(path, rows=16):
+    """A small real ledger: enough measured cells (with a learnable
+    area->AIPC relationship) for the calibration splitter."""
+    from repro.core import WaveScalarConfig
+    from repro.harness import CellSpec, Ledger
+
+    ledger = Ledger(path)
+    configs = [
+        WaveScalarConfig(clusters=c, virtualization=v,
+                         matching_entries=64, l2_mb=1)
+        for c in (1, 2) for v in (16, 64)
+    ]
+    names = ["gzip", "mcf", "twolf", "ammp"]
+    count = 0
+    for config in configs:
+        for name in names:
+            if count >= rows:
+                break
+            spec = CellSpec(config=config, workload=name, scale="tiny")
+            aipc = 0.02 * config.clusters + 0.001 * config.virtualization
+            ledger.append({
+                "hash": spec.cell_hash(), "status": "ok",
+                "aipc": round(aipc, 6), "spec": spec.as_dict(),
+            })
+            count += 1
+    return count
+
+
+def test_surrogate_report_renders_and_gates(capsys, tmp_path):
+    from repro.harness import Ledger
+    from repro.surrogate import calibration_report, extract_training_set
+
+    path = tmp_path / "ledger.jsonl"
+    _write_training_ledger(path)
+    code, out = run_cli(capsys, "surrogate", "report", str(path))
+    assert "coverage" in out
+    assert "mae" in out.lower()
+    # Exit code mirrors the calibration verdict of the library call
+    # with identical parameters.
+    report = calibration_report(extract_training_set(Ledger(path)))
+    assert code == (0 if report.calibrated else 1)
+
+
+def test_surrogate_report_json(capsys, tmp_path):
+    import json
+
+    path = tmp_path / "ledger.jsonl"
+    _write_training_ledger(path)
+    code, out = run_cli(capsys, "surrogate", "report", str(path),
+                        "--json")
+    doc = json.loads(out)
+    assert set(doc) >= {"coverage", "mae", "calibrated", "rows"}
+    assert code in (0, 1)
+
+
+def test_surrogate_report_missing_ledger(tmp_path):
+    assert main(["surrogate", "report",
+                 str(tmp_path / "nope.jsonl")]) == 2
+
+
+def test_surrogate_report_too_few_rows(capsys, tmp_path):
+    path = tmp_path / "ledger.jsonl"
+    _write_training_ledger(path, rows=3)
+    code = main(["surrogate", "report", str(path)])
+    capsys.readouterr()
+    assert code == 2
+
+
+# ----------------------------------------------------------------------
+# bench-summary --baseline
+# ----------------------------------------------------------------------
+def _bench_dirs(tmp_path, current, baseline):
+    import json
+
+    cur = tmp_path / "cur"
+    base = tmp_path / "base"
+    cur.mkdir()
+    base.mkdir()
+    (cur / "BENCH_x.json").write_text(json.dumps(current))
+    (base / "BENCH_x.json").write_text(json.dumps(baseline))
+    return cur, base
+
+
+def test_bench_summary_flags_regression(capsys, tmp_path):
+    cur, base = _bench_dirs(
+        tmp_path,
+        {"wall_s": 20.0, "speedup": 3.0},
+        {"wall_s": 10.0, "speedup": 2.0},
+    )
+    code, out = run_cli(
+        capsys, "bench-summary", "--root", str(cur),
+        "--baseline", str(base),
+    )
+    assert code == 0  # report-only without --strict
+    assert "REGRESSION" in out and "wall_s" in out
+    assert "improved" in out and "speedup" in out
+
+
+def test_bench_summary_strict_exits_nonzero(capsys, tmp_path):
+    cur, base = _bench_dirs(
+        tmp_path, {"wall_s": 20.0}, {"wall_s": 10.0},
+    )
+    code, _ = run_cli(
+        capsys, "bench-summary", "--root", str(cur),
+        "--baseline", str(base), "--strict",
+    )
+    assert code == 1
+
+
+def test_bench_summary_tolerance_absorbs_drift(capsys, tmp_path):
+    cur, base = _bench_dirs(
+        tmp_path, {"wall_s": 10.5}, {"wall_s": 10.0},
+    )
+    code, out = run_cli(
+        capsys, "bench-summary", "--root", str(cur),
+        "--baseline", str(base), "--strict",
+    )
+    assert code == 0
+    assert "no drift beyond tolerance" in out
+
+
+def test_bench_summary_unjudged_metric_is_drift_only(capsys, tmp_path):
+    cur, base = _bench_dirs(
+        tmp_path, {"cells": 100}, {"cells": 50},
+    )
+    code, out = run_cli(
+        capsys, "bench-summary", "--root", str(cur),
+        "--baseline", str(base), "--strict",
+    )
+    assert code == 0
+    assert "drifted" in out
+
+
+def test_bench_summary_missing_baseline_dir(capsys, tmp_path):
+    cur, _ = _bench_dirs(tmp_path, {"wall_s": 1.0}, {"wall_s": 1.0})
+    code = main(["bench-summary", "--root", str(cur),
+                 "--baseline", str(tmp_path / "nope")])
+    capsys.readouterr()
+    assert code == 2
+
+
+def test_stats_counts_predicted_separately(capsys, tmp_path):
+    """A surrogate ledger's predicted cells surface as their own
+    counter, never folded into the measured count."""
+    from repro.core import WaveScalarConfig
+    from repro.harness import CellSpec, Ledger
+
+    path = tmp_path / "ledger.jsonl"
+    ledger = Ledger(path)
+    config = WaveScalarConfig(clusters=1, l2_mb=1)
+    for name, status in (("gzip", "ok"), ("mcf", "ok"),
+                         ("twolf", "predicted")):
+        spec = CellSpec(config=config, workload=name, scale="tiny")
+        record = {"hash": spec.cell_hash(), "status": status,
+                  "workload": name, "config": config.describe(),
+                  "spec": spec.as_dict()}
+        if status == "ok":
+            record["aipc"] = 0.1
+        else:
+            record.update({"aipc_predicted": 0.1,
+                           "aipc_interval": [0.05, 0.2],
+                           "aipc_bound": 0.5,
+                           "model_hash": "cafe"})
+        ledger.append(record)
+    code, out = run_cli(capsys, "stats", str(path))
+    assert code == 0
+    assert "cells_ok" in out and "2" in out
+    assert "cells_predicted" in out

@@ -1,0 +1,133 @@
+"""Property tests for the frontier tie/degeneracy semantics the
+surrogate-guided sweep depends on (bit-for-bit frontier comparison
+across search strategies): duplicate handling, permutation
+invariance, idempotence, and non-finite rejection."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.design import ParetoPoint, is_dominated, pareto_front
+
+
+def pts(*pairs):
+    return [
+        ParetoPoint(label=f"p{i}", area=a, performance=p)
+        for i, (a, p) in enumerate(pairs)
+    ]
+
+
+coords = st.lists(
+    st.tuples(
+        st.floats(1, 1000, allow_nan=False),
+        st.floats(0, 100, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+# ----------------------------------------------------------------------
+# Non-finite coordinates are rejected loudly
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("bad", [
+    float("nan"), float("inf"), float("-inf"),
+])
+def test_non_finite_area_raises(bad):
+    with pytest.raises(ValueError, match="non-finite"):
+        pareto_front(pts((10, 1), (bad, 2)))
+    with pytest.raises(ValueError, match="non-finite"):
+        pareto_front(pts((10, bad)))
+
+
+def test_non_finite_raises_in_is_dominated():
+    good = ParetoPoint(label="g", area=10, performance=1)
+    bad = ParetoPoint(label="b", area=float("nan"), performance=1)
+    with pytest.raises(ValueError, match="non-finite"):
+        is_dominated(bad, [good])
+    with pytest.raises(ValueError, match="non-finite"):
+        is_dominated(good, [good, bad])
+
+
+def test_error_names_the_offending_point():
+    with pytest.raises(ValueError, match="p1"):
+        pareto_front(pts((10, 1), (float("inf"), 2)))
+
+
+# ----------------------------------------------------------------------
+# Exact duplicates: one survivor, earliest in input order
+# ----------------------------------------------------------------------
+def test_exact_duplicates_keep_earliest():
+    a = ParetoPoint(label="first", area=10, performance=2)
+    b = ParetoPoint(label="second", area=10, performance=2)
+    front = pareto_front([a, b])
+    assert [p.label for p in front] == ["first"]
+    front = pareto_front([b, a])
+    assert [p.label for p in front] == ["second"]
+
+
+def test_duplicates_do_not_dominate_each_other():
+    a = ParetoPoint(label="a", area=10, performance=2)
+    b = ParetoPoint(label="b", area=10, performance=2)
+    assert not is_dominated(a, [a, b])
+    assert not is_dominated(b, [a, b])
+
+
+# ----------------------------------------------------------------------
+# Hypothesis: structural invariants over arbitrary point clouds
+# ----------------------------------------------------------------------
+@settings(max_examples=100, deadline=None)
+@given(coords=coords)
+def test_front_coordinates_are_permutation_invariant(coords):
+    points = pts(*coords)
+    baseline = [(p.area, p.performance) for p in pareto_front(points)]
+    rotated = points[len(points) // 2:] + points[: len(points) // 2]
+    assert [(p.area, p.performance) for p in pareto_front(rotated)] \
+        == baseline
+    assert [(p.area, p.performance)
+            for p in pareto_front(list(reversed(points)))] == baseline
+
+
+@settings(max_examples=100, deadline=None)
+@given(coords=coords)
+def test_front_is_idempotent(coords):
+    front = pareto_front(pts(*coords))
+    assert pareto_front(front) == front
+
+
+@settings(max_examples=100, deadline=None)
+@given(coords=coords)
+def test_front_is_strictly_monotone(coords):
+    front = pareto_front(pts(*coords))
+    for a, b in zip(front, front[1:]):
+        assert a.area < b.area
+        assert a.performance < b.performance
+
+
+@settings(max_examples=100, deadline=None)
+@given(coords=coords)
+def test_every_point_dominated_or_tied_with_front(coords):
+    points = pts(*coords)
+    front = pareto_front(points)
+    front_coords = {(p.area, p.performance) for p in front}
+    for point in points:
+        if point in front:
+            assert not is_dominated(point, points)
+        else:
+            assert (
+                is_dominated(point, points)
+                or (point.area, point.performance) in front_coords
+            )
+
+
+@settings(max_examples=100, deadline=None)
+@given(coords=coords)
+def test_front_survivors_are_finite_and_unique(coords):
+    front = pareto_front(pts(*coords))
+    seen = set()
+    for p in front:
+        assert math.isfinite(p.area) and math.isfinite(p.performance)
+        assert (p.area, p.performance) not in seen
+        seen.add((p.area, p.performance))

@@ -1,0 +1,114 @@
+"""Feature extraction and the streaming training-set extractor:
+vector schema, outcome rules, and malformed-record tolerance."""
+
+import numpy as np
+
+from repro.core import WaveScalarConfig
+from repro.harness.spec import CellSpec
+from repro.surrogate.features import (
+    FEATURE_NAMES,
+    cell_features,
+    extract_training_set,
+    feature_frame,
+    training_rows,
+)
+
+CONFIG = WaveScalarConfig(clusters=2, virtualization=64,
+                          matching_entries=64, l2_mb=1)
+
+
+def spec_for(workload="gzip"):
+    return CellSpec(config=CONFIG, workload=workload, scale="tiny")
+
+
+class FakeLedger:
+    """Duck-typed stand-in yielding (status, aipc, spec) triples the
+    way ``Ledger.iter_fields("status", "aipc", "spec")`` would."""
+
+    def __init__(self, rows):
+        self.rows = rows
+
+    def iter_fields(self, *names):
+        assert names == ("status", "aipc", "spec")
+        yield from self.rows
+
+
+def test_cell_features_schema():
+    row = cell_features(spec_for())
+    assert len(row) == len(FEATURE_NAMES)
+    assert all(isinstance(v, float) and np.isfinite(v) for v in row)
+    named = feature_frame(np.asarray([row]))[0]
+    assert named["clusters"] == 2.0
+    assert named["area_mm2"] > 0.0
+    assert named["aipc_bound"] > 0.0
+
+
+def test_cell_features_accepts_precomputed_bound():
+    from repro.analysis.dataflow import bound_for_cell
+
+    spec = spec_for()
+    bound = bound_for_cell(spec)
+    assert cell_features(spec, bound=bound) == cell_features(spec)
+
+
+def test_extract_outcome_rules():
+    ok = spec_for("gzip")
+    failed = spec_for("mcf")
+    rows = [
+        ("ok", 0.125, ok.as_dict()),
+        ("failed", None, failed.as_dict()),
+        ("poisoned", 0.5, spec_for("twolf").as_dict()),
+        ("invalid", None, ok.as_dict()),
+        ("pruned_static", None, ok.as_dict()),
+        ("predicted", 0.2, ok.as_dict()),
+        (None, None, None),  # torn line surfaced as malformed
+    ]
+    training = extract_training_set(FakeLedger(rows))
+    assert training.rows == 3
+    assert training.X.shape == (3, len(FEATURE_NAMES))
+    # ok trains on measured AIPC; failed/poisoned train on the 0.0
+    # score the sweep aggregation assigns them.
+    assert list(training.y) == [0.125, 0.0, 0.0]
+    assert training.groups == ["gzip", "mcf", "twolf"]
+    assert training.cell_hashes[0] == ok.cell_hash()
+    # Model-free rows are excluded, never trained on.
+    assert training.excluded == {
+        "invalid": 1, "pruned_static": 1, "predicted": 1,
+        "<malformed>": 1,
+    }
+
+
+def test_extract_tolerates_unparseable_specs():
+    rows = [
+        ("ok", 0.125, spec_for().as_dict()),
+        ("ok", 0.1, {"workload": "gzip"}),  # stale schema
+        ("ok", 0.1, "not-a-dict"),
+    ]
+    training = extract_training_set(FakeLedger(rows))
+    assert training.rows == 1
+    assert training.excluded == {"<malformed>": 2}
+
+
+def test_extract_empty_ledger():
+    training = extract_training_set(FakeLedger([]))
+    assert training.rows == 0
+    assert training.X.shape == (0, len(FEATURE_NAMES))
+
+
+def test_training_rows_matches_extractor_rules():
+    ok = spec_for("gzip")
+    pairs = [
+        (ok, {"status": "ok", "aipc": 0.125}),
+        (spec_for("mcf"), {"status": "failed"}),
+        (spec_for("twolf"), {"status": "predicted", "aipc": 0.2}),
+    ]
+    X, y, groups = training_rows(pairs)
+    assert X.shape == (2, len(FEATURE_NAMES))
+    assert list(y) == [0.125, 0.0]
+    assert groups == ["gzip", "mcf"]
+    # Precomputed bounds give the identical row.
+    from repro.analysis.dataflow import bound_for_cell
+
+    X2, _, _ = training_rows(pairs,
+                             bounds={ok.cell_hash(): bound_for_cell(ok)})
+    assert np.array_equal(X2[0], X[0])

@@ -1,0 +1,125 @@
+"""QuantileForest: determinism, hashing, conformal coverage, and
+input validation -- all on synthetic data, no simulation."""
+
+import numpy as np
+import pytest
+
+from repro.surrogate.model import (
+    MIN_GROUP_RESIDUALS,
+    QuantileForest,
+)
+
+
+def synthetic(n, seed, noise=0.05):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(0.0, 1.0, size=(n, 6))
+    y = (0.5 * X[:, 0] + 0.3 * X[:, 1] * X[:, 2]
+         + noise * rng.standard_normal(n))
+    return X, np.maximum(y, 0.0)
+
+
+def test_same_seed_is_bit_identical():
+    X, y = synthetic(80, seed=1)
+    a = QuantileForest(seed=7).fit(X, y)
+    b = QuantileForest(seed=7).fit(X, y)
+    assert a.model_hash == b.model_hash
+    Xq, _ = synthetic(20, seed=2)
+    assert np.array_equal(a.predict(Xq), b.predict(Xq))
+    lo_a, hi_a = a.predict_interval(Xq)
+    lo_b, hi_b = b.predict_interval(Xq)
+    assert np.array_equal(lo_a, lo_b)
+    assert np.array_equal(hi_a, hi_b)
+
+
+def test_different_seed_changes_hash():
+    X, y = synthetic(80, seed=1)
+    a = QuantileForest(seed=0).fit(X, y)
+    b = QuantileForest(seed=1).fit(X, y)
+    assert a.model_hash != b.model_hash
+
+
+def test_model_hash_states():
+    forest = QuantileForest()
+    assert forest.model_hash == "unfitted"
+    assert not forest.fitted
+    X, y = synthetic(40, seed=3)
+    forest.fit(X, y)
+    assert forest.fitted
+    first = forest.model_hash
+    assert len(first) == 16
+    assert forest.model_hash == first  # memoized, stable
+    # Refit invalidates the memo and (different data) the digest.
+    forest.fit(*synthetic(40, seed=4))
+    assert forest.model_hash != first
+
+
+def test_held_out_interval_coverage():
+    X, y = synthetic(160, seed=5)
+    forest = QuantileForest(seed=0, coverage=0.9).fit(X, y)
+    Xq, yq = synthetic(200, seed=6)
+    lo, hi = forest.predict_interval(Xq)
+    assert np.all(lo >= 0.0)  # AIPC floor
+    assert np.all(hi >= lo)
+    covered = np.mean((yq >= lo) & (yq <= hi))
+    # 0.9 nominal; leave slack for finite-sample noise.
+    assert covered >= 0.85
+    # Intervals are informative, not vacuous.
+    assert np.mean(hi - lo) < float(y.max())
+
+
+def test_mondrian_groups_calibrate_separately():
+    X, y = synthetic(120, seed=8)
+    # One noisy group, one clean group.
+    groups = ["noisy" if i % 2 else "clean" for i in range(len(y))]
+    y = y.copy()
+    noise_rows = [i for i, g in enumerate(groups) if g == "noisy"]
+    rng = np.random.default_rng(9)
+    y[noise_rows] += 0.5 * rng.standard_normal(len(noise_rows))
+    y = np.maximum(y, 0.0)
+    forest = QuantileForest(seed=0).fit(X, y, groups=groups)
+    Xq = X[:10]
+    lo_noisy, hi_noisy = forest.predict_interval(
+        Xq, groups=["noisy"] * 10)
+    lo_clean, hi_clean = forest.predict_interval(
+        Xq, groups=["clean"] * 10)
+    assert np.mean(hi_noisy - lo_noisy) > np.mean(hi_clean - lo_clean)
+    # Unknown labels fall back to the global margin.
+    lo_glob, hi_glob = forest.predict_interval(Xq)
+    lo_unk, hi_unk = forest.predict_interval(Xq, groups=["???"] * 10)
+    assert np.array_equal(lo_unk, lo_glob)
+    assert np.array_equal(hi_unk, hi_glob)
+
+
+def test_tiny_groups_use_global_margin():
+    X, y = synthetic(60, seed=10)
+    # One row of a rare group: below MIN_GROUP_RESIDUALS, so it must
+    # not earn its own (degenerate) margin.
+    groups = ["common"] * (len(y) - 1) + ["rare"]
+    assert MIN_GROUP_RESIDUALS > 1
+    forest = QuantileForest(seed=0).fit(X, y, groups=groups)
+    lo_rare, hi_rare = forest.predict_interval(
+        X[:5], groups=["rare"] * 5)
+    lo_glob, hi_glob = forest.predict_interval(X[:5])
+    assert np.array_equal(lo_rare, lo_glob)
+    assert np.array_equal(hi_rare, hi_glob)
+
+
+def test_input_validation():
+    X, y = synthetic(20, seed=11)
+    with pytest.raises(ValueError, match="coverage"):
+        QuantileForest(coverage=1.0)
+    with pytest.raises(ValueError, match="coverage"):
+        QuantileForest(coverage=0.2)
+    with pytest.raises(ValueError, match="shapes"):
+        QuantileForest().fit(X[:, 0], y)
+    with pytest.raises(ValueError, match="shapes"):
+        QuantileForest().fit(X, y[:-1])
+    with pytest.raises(ValueError, match="rows"):
+        QuantileForest().fit(X[:1], y[:1])
+    with pytest.raises(ValueError, match="groups"):
+        QuantileForest().fit(X, y, groups=["a"])
+    forest = QuantileForest()
+    with pytest.raises(RuntimeError):
+        forest.predict(X)
+    with pytest.raises(RuntimeError):
+        forest.predict_interval(X)
